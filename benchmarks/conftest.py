@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark reproduces one figure/claim of the paper and reports its
+rows through the ``report`` fixture; the collected tables are printed in
+the terminal summary (so they survive pytest's output capture and land in
+``bench_output.txt``) and also written under ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_REPORTS: list[str] = []
+_REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+class Reporter:
+    """Collects rendered tables/series for one benchmark."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.chunks: list[str] = []
+
+    def add(self, text: str) -> None:
+        """Record one rendered table or series line."""
+        self.chunks.append(text)
+
+    def table(self, table) -> None:
+        """Record a :class:`repro.bench.Table`."""
+        self.add(table.render())
+
+    def flush(self) -> None:
+        body = "\n\n".join(self.chunks)
+        banner = f"\n{'#' * 72}\n# {self.name}\n{'#' * 72}\n{body}"
+        _REPORTS.append(banner)
+        _REPORT_DIR.mkdir(exist_ok=True)
+        (_REPORT_DIR / f"{self.name}.txt").write_text(body + "\n")
+
+
+@pytest.fixture()
+def report(request):
+    """Per-benchmark reporter; flushed (printed + saved) at teardown."""
+    reporter = Reporter(request.node.name)
+    yield reporter
+    if reporter.chunks:
+        reporter.flush()
+
+
+def pytest_terminal_summary(terminalreporter):
+    for banner in _REPORTS:
+        terminalreporter.write_line(banner)

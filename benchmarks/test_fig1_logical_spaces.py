@@ -1,0 +1,85 @@
+"""Figure 1: logical tuple space composition under visibility change.
+
+Reproduces the three states of the paper's Figure 1 with live instances:
+
+(a) two isolated instances — each logical space is its local space only;
+(b) A and B become visible — each sees the union of the two local spaces;
+(c) C becomes visible to B only — B sees A∪B∪C while A sees A∪B and C
+    sees B∪C (Tiamat defines no global consistency).
+
+The bench probes each instance for every other instance's marker tuple and
+prints the reachability matrix per state; the paper's figure is matched
+when the matrices equal the three depicted configurations.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table
+from repro.core import TiamatInstance
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+NAMES = ["A", "B", "C"]
+
+
+def _reachability(sim, instances) -> dict:
+    """For each instance: which instances' marker tuples it can reach."""
+    view = {}
+    for reader in NAMES:
+        reachable = []
+        for origin in NAMES:
+            op = instances[reader].rdp(Pattern("marker", origin))
+            sim.run(until=sim.now + 5.0)
+            if op.result is not None:
+                reachable.append(origin)
+        view[reader] = reachable
+    return view
+
+
+def run_scenario():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    instances = {name: TiamatInstance(sim, net, name) for name in NAMES}
+    for name in NAMES:
+        # A lease long enough to survive all three probing phases.
+        instances[name].out(
+            Tuple("marker", name),
+            requester=SimpleLeaseRequester(LeaseTerms(duration=3600.0)))
+
+    views = {}
+    # (a) isolated
+    views["a"] = _reachability(sim, instances)
+    # (b) A-B visible
+    net.visibility.set_visible("A", "B")
+    views["b"] = _reachability(sim, instances)
+    # (c) C visible to B only
+    net.visibility.set_visible("B", "C")
+    views["c"] = _reachability(sim, instances)
+    return views
+
+
+EXPECTED = {
+    "a": {"A": ["A"], "B": ["B"], "C": ["C"]},
+    "b": {"A": ["A", "B"], "B": ["A", "B"], "C": ["C"]},
+    "c": {"A": ["A", "B"], "B": ["A", "B", "C"], "C": ["B", "C"]},
+}
+
+
+def test_fig1_logical_spaces(benchmark, report):
+    views = benchmark.pedantic(run_scenario, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 1: logical tuple space per instance",
+        ["state", "instance", "logical space spans", "paper"],
+        caption="(a) isolated  (b) A-B visible  (c) C visible to B only",
+    )
+    for state in ("a", "b", "c"):
+        for name in NAMES:
+            table.add_row(state, name,
+                          "{" + ", ".join(views[state][name]) + "}",
+                          "{" + ", ".join(EXPECTED[state][name]) + "}")
+    report.table(table)
+
+    assert views == EXPECTED

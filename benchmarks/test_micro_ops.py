@@ -1,0 +1,94 @@
+"""Micro-benchmarks: raw operation costs of the substrate.
+
+Not a paper figure — these are the numbers a downstream user asks first
+("how fast is a local out/in?  how does matching scale?").  They use
+pytest-benchmark's timing machinery for real, not just as a harness.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Simulator
+from repro.tuples import LocalTupleSpace, Pattern, Tuple, TupleStore
+
+
+def test_local_out_inp_cycle(benchmark):
+    """One leased-free out + inp pair on a local space."""
+    sim = Simulator(seed=1)
+    space = LocalTupleSpace(sim, name="micro")
+    tup = Tuple("item", 42, "payload")
+    pattern = Pattern("item", 42, str)
+
+    def cycle():
+        space.out(tup)
+        assert space.inp(pattern) is not None
+
+    benchmark(cycle)
+    assert space.count() == 0
+
+
+def test_store_find_in_populated_store(benchmark):
+    """Pattern lookup among 10k resident tuples (indexed path)."""
+    store = TupleStore()
+    for i in range(10_000):
+        store.add(Tuple("bulk", i % 100, f"body{i}"))
+    store.add(Tuple("needle", 1))
+    pattern = Pattern("needle", int)
+
+    result = benchmark(lambda: store.find(pattern))
+    assert result is not None
+
+
+def test_store_find_all_hot_tag(benchmark):
+    """find_all over a hot tag bucket (100 matches out of 10k)."""
+    store = TupleStore()
+    for i in range(10_000):
+        store.add(Tuple("bulk", i % 100, f"body{i}"))
+    pattern = Pattern("bulk", 7, str)
+
+    result = benchmark(lambda: store.find_all(pattern))
+    assert len(result) == 100
+
+
+def test_blocking_waiter_wakeup(benchmark):
+    """Register a waiter, deposit a match, deliver: the rendezvous path."""
+    sim = Simulator(seed=2)
+    space = LocalTupleSpace(sim, name="micro")
+    pattern = Pattern("evt", int)
+
+    def rendezvous():
+        waiter = space.in_(pattern)
+        space.out(Tuple("evt", 1))
+        assert waiter.satisfied
+
+    benchmark(rendezvous)
+
+
+def test_simulator_event_throughput(benchmark):
+    """Cost of scheduling + running 1000 zero-work callbacks."""
+
+    def run_batch():
+        sim = Simulator(seed=3)
+        for i in range(1000):
+            sim.schedule(float(i % 7), lambda: None)
+        sim.run()
+
+    benchmark(run_batch)
+
+
+def test_distributed_in_roundtrip(benchmark):
+    """Full remote in(): query, hold, offer, claim — one virtual roundtrip."""
+    from repro.core import TiamatInstance
+    from repro.net import Network
+
+    def roundtrip():
+        sim = Simulator(seed=4)
+        net = Network(sim)
+        a = TiamatInstance(sim, net, "a")
+        b = TiamatInstance(sim, net, "b")
+        net.visibility.set_visible("a", "b")
+        b.out(Tuple("x", 1))
+        op = a.in_(Pattern("x", int))
+        sim.run(until=5.0)
+        assert op.result is not None
+
+    benchmark(roundtrip)

@@ -1,0 +1,119 @@
+"""T3 (section 3.2.2): the fractal generator over the tuple space.
+
+"The load balancing server was removed and the data producers communicated
+with the entities performing the calculations through the space ...  the
+number of entities performing calculations could be increased and decreased
+without perturbing the clients."
+
+The bench renders a fixed Mandelbrot job with farms of 1/2/4/8 workers
+(identical checksum, near-linear speedup until tile starvation) and an
+*elastic* run where the farm grows and shrinks mid-render with no effect on
+the master beyond the completion time.
+"""
+
+from __future__ import annotations
+
+from repro.apps import FractalMaster, FractalWorker
+from repro.bench import Table
+from repro.core import TiamatConfig, TiamatInstance
+from repro.net import Network
+from repro.sim import Simulator
+
+TILES = 16
+RESOLUTION = 48
+MAX_ITER = 100
+TPI = 2e-4  # virtual seconds per iteration
+
+
+def build_farm(workers: int, seed: int):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    names = ["master"] + [f"worker{i}" for i in range(workers)]
+    instances = {n: TiamatInstance(sim, net, n, config=config) for n in names}
+    net.visibility.connect_clique(names)
+    master = FractalMaster(sim, instances["master"], job="bench", tiles=TILES,
+                           resolution=RESOLUTION, max_iter=MAX_ITER)
+    pool = [FractalWorker(sim, instances[f"worker{i}"], time_per_iteration=TPI)
+            for i in range(workers)]
+    for worker in pool:
+        worker.start()
+    return sim, net, instances, master, pool
+
+
+def run_scaling() -> dict:
+    results = {}
+    for workers in (1, 2, 4, 8):
+        sim, net, instances, master, pool = build_farm(workers, seed=21)
+        sim.spawn(master.run())
+        sim.run(until=50_000.0)
+        assert master.complete
+        results[workers] = {
+            "elapsed": master.finished_at - master.started_at,
+            "checksum": master.checksum,
+            "tiles": sorted((w.tiles_done for w in pool), reverse=True),
+        }
+    return results
+
+
+def run_elastic() -> dict:
+    sim, net, instances, master, pool = build_farm(1, seed=22)
+    sim.spawn(master.run())
+
+    def grow():
+        for i in (1, 2, 3):
+            inst = TiamatInstance(sim, net, f"late{i}",
+                                  config=TiamatConfig(propagate_mode="continuous"))
+            instances[f"late{i}"] = inst
+            net.visibility.connect_clique(list(instances))
+            worker = FractalWorker(sim, inst, time_per_iteration=TPI)
+            worker.start()
+            pool.append(worker)
+
+    def shrink():
+        pool[0].stop()
+        net.visibility.set_up("worker0", False)
+
+    sim.schedule(1.0, grow)
+    sim.schedule(4.0, shrink)
+    sim.run(until=50_000.0)
+    assert master.complete
+    return {
+        "elapsed": master.finished_at - master.started_at,
+        "checksum": master.checksum,
+        "late_tiles": sum(w.tiles_done for w in pool[1:]),
+    }
+
+
+def test_t3_fractal(benchmark, report):
+    scaling = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    elastic = run_elastic()
+
+    base = scaling[1]["elapsed"]
+    table = Table(
+        "T3: fractal farm scaling (no load-balancing server anywhere)",
+        ["workers", "elapsed (s)", "speedup", "checksum", "tiles per worker"],
+        caption=f"{TILES} tiles, {RESOLUTION}px, max_iter={MAX_ITER}",
+    )
+    for workers, row in scaling.items():
+        table.add_row(workers, row["elapsed"], base / row["elapsed"],
+                      row["checksum"], str(row["tiles"]))
+    report.table(table)
+
+    table2 = Table(
+        "T3 elastic: workers added (t=1s) and removed (t=4s) mid-render",
+        ["elapsed (s)", "checksum", "tiles by late workers"],
+        caption="Master code identical; it never observes the farm changing",
+    )
+    table2.add_row(elastic["elapsed"], elastic["checksum"],
+                   elastic["late_tiles"])
+    report.table(table2)
+
+    checksums = {row["checksum"] for row in scaling.values()}
+    assert len(checksums) == 1, "render result must not depend on farm size"
+    assert elastic["checksum"] in checksums
+    assert scaling[4]["elapsed"] < scaling[2]["elapsed"] < scaling[1]["elapsed"]
+    # Speedup is near-linear at small farm sizes.
+    assert base / scaling[2]["elapsed"] > 1.5
+    assert base / scaling[4]["elapsed"] > 2.5
+    assert elastic["late_tiles"] > 0

@@ -1,0 +1,140 @@
+"""T5 (section 4.7): Tiamat against the five related systems.
+
+One request/response workload (each node deposits items addressed to
+random peers and consumes items addressed to itself) drives all six
+systems at several host counts, in a stable environment and under churn.
+Reported per cell: consume success rate, network frames per operation, and
+tuples stored per node at the end (the storage-burden axis).
+
+Paper shapes to match:
+
+* Tiamat and PeerSpaces scale with host count (no global consistency);
+* the centralized system collapses under churn (the one machine that
+  "must be visible to all others" keeps disappearing);
+* LIME pays the atomic-engagement barrier under churn and cannot grow a
+  federation past ~6 hosts;
+* Limbo pays full-replica storage on every node;
+* CoreLime's agent tours cost far more frames per operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import RequestResponseWorkload
+from repro.bench import SYSTEMS, Table, build_system
+from repro.net import ChurnInjector
+
+SIZES = (4, 8, 16)
+DURATION = 60.0
+PERIOD = 3.0
+OP_TIMEOUT = 8.0
+
+
+def run_cell(system: str, n: int, churn: bool, seed: int = 41) -> dict:
+    sim, network, nodes = build_system(system, n, seed=seed)
+    sim.run(until=5.0)  # LIME engagements, discovery, initial sync
+
+    if churn:
+        injector = ChurnInjector(sim, network.visibility, rng=sim.rng("churn5"))
+        for name in sorted(nodes):
+            injector.auto_churn(name, mean_uptime=20.0, mean_downtime=5.0)
+        if system == "central":
+            injector.auto_churn("server", mean_uptime=20.0, mean_downtime=5.0)
+        if system == "lime":
+            # LIME requires explicit, atomic engagement/disengagement on
+            # every arrival and departure (section 4.4).
+            hosts = nodes
+
+            def relink(node, up):
+                host = hosts.get(node)
+                if host is None:
+                    return
+                if up:
+                    host.engage()
+                else:
+                    host.disengage()
+
+            network.visibility.on_node_change(relink)
+
+    frames_before = network.stats.total_messages
+    workload = RequestResponseWorkload(sim, nodes, sim.rng("wl"),
+                                       period=PERIOD, op_timeout=OP_TIMEOUT)
+    workload.start(duration=DURATION)
+    sim.run(until=5.0 + DURATION + 2 * OP_TIMEOUT)
+
+    stats = workload.stats
+    ops = stats.produced + stats.consume_attempts
+    frames = network.stats.total_messages - frames_before
+    stored = [node.stored_tuples() for node in nodes.values()]
+    return {
+        "success": stats.success_rate,
+        "frames_per_op": frames / max(1, ops),
+        "stored_per_node": sum(stored) / len(stored),
+    }
+
+
+def run_matrix() -> dict:
+    results = {}
+    for system in SYSTEMS:
+        for n in SIZES:
+            for churn in (False, True):
+                results[(system, n, churn)] = run_cell(system, n, churn)
+    return results
+
+
+def test_t5_system_comparison(benchmark, report):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    for churn in (False, True):
+        env = "churning (up 20s / down 5s)" if churn else "stable"
+        table = Table(
+            f"T5: system comparison, {env}",
+            ["system"] + [f"ok@{n}" for n in SIZES]
+            + [f"frames/op@{n}" for n in SIZES]
+            + [f"stored/node@{n}" for n in SIZES],
+            caption=f"request/response workload, {DURATION:.0f}s, "
+                    f"period {PERIOD}s, op timeout {OP_TIMEOUT}s",
+        )
+        for system in SYSTEMS:
+            cells = [results[(system, n, churn)] for n in SIZES]
+            table.add_row(system,
+                          *[c["success"] for c in cells],
+                          *[c["frames_per_op"] for c in cells],
+                          *[c["stored_per_node"] for c in cells])
+        report.table(table)
+
+    stable = {k: v for k, v in results.items() if not k[2]}
+    churny = {k: v for k, v in results.items() if k[2]}
+
+    # Tiamat scales: success stays high at every size, stable and churning.
+    for n in SIZES:
+        assert stable[("tiamat", n, False)]["success"] > 0.7
+        assert churny[("tiamat", n, True)]["success"] > 0.4
+
+    # The central server is fine when permanently visible...
+    assert stable[("central", 8, False)]["success"] > 0.7
+    # ...but degrades under churn more than Tiamat does (mean over sizes,
+    # robust to per-cell seed noise).
+    central_churn = sum(churny[("central", n, True)]["success"]
+                        for n in SIZES) / len(SIZES)
+    tiamat_churn = sum(churny[("tiamat", n, True)]["success"]
+                       for n in SIZES) / len(SIZES)
+    assert central_churn < tiamat_churn
+
+    # LIME cannot grow past its ~6-host federation: success degrades with
+    # size as more hosts are stranded outside the federation.
+    assert (stable[("lime", 16, False)]["success"]
+            < stable[("lime", 4, False)]["success"])
+    assert (stable[("lime", 16, False)]["success"]
+            < stable[("tiamat", 16, False)]["success"])
+
+    # Limbo pays full-replica storage: far more resident tuples per node
+    # than Tiamat at every size.
+    for n in SIZES:
+        assert (stable[("limbo", n, False)]["stored_per_node"]
+                > 2 * stable[("tiamat", n, False)]["stored_per_node"])
+
+    # CoreLime's agent tours dominate frames/op at scale.
+    assert (stable[("corelime", 16, False)]["frames_per_op"]
+            > stable[("tiamat", 16, False)]["frames_per_op"])

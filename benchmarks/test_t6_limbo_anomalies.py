@@ -1,0 +1,170 @@
+"""T6 (section 4.3): Limbo's semantic anomalies, measured — Tiamat for contrast.
+
+Two anomalies the paper attributes to replication + ownership:
+
+* **stale reads** — "once a particular tuple has been removed from the
+  space, it should not be available to any subsequent operation.  This is
+  not the case in Limbo as the tuple may still be accessible to a
+  disconnected host": a churning reader keeps re-reading tuples whose
+  owner already removed them.
+* **orphaned tuples** — "if a client deposits a sizeable number of tuples
+  in the space and then leaves, no other client can remove those tuples
+  until that same client returns ... the tuples will simply continue to
+  consume resources on all of the clients participating in that space":
+  a departing owner strands its tuples in every replica forever, whereas
+  Tiamat's leases reclaim them.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import build_limbo_system
+from repro.bench import Table, TiamatSpaceAdapter
+from repro.core import TiamatInstance
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Formal, Pattern, Tuple
+
+ROUNDS = 20
+LEASE = 30.0
+
+
+def run_stale_reads() -> dict:
+    """Owner removes tuples while a reader is disconnected; reader re-reads."""
+    results = {}
+
+    # --- Limbo -----------------------------------------------------------
+    sim = Simulator(seed=51)
+    net = Network(sim)
+    nodes, oracle = build_limbo_system(sim, net, ["owner", "reader"])
+    net.visibility.set_visible("owner", "reader")
+    stale = 0
+    valid = 0
+
+    def scenario():
+        nonlocal stale, valid
+        for i in range(ROUNDS):
+            nodes["owner"].out(Tuple("doc", i))
+            yield sim.timeout(1.0)           # replication happens
+            net.visibility.set_visible("owner", "reader", False)
+            nodes["owner"].inp(Pattern("doc", i))  # owner removes it
+            yield sim.timeout(1.0)
+            before = nodes["reader"].stale_reads
+            op = nodes["reader"].rdp(Pattern("doc", i))
+            if op.result is not None and nodes["reader"].stale_reads > before:
+                stale += 1
+            elif op.result is not None:
+                valid += 1
+            net.visibility.set_visible("owner", "reader", True)
+            yield sim.timeout(1.0)           # reconnect sync repairs
+
+    sim.spawn(scenario())
+    sim.run(until=10_000.0)
+    results["limbo"] = {"stale_reads": stale, "post_repair": valid}
+
+    # --- Tiamat ----------------------------------------------------------
+    sim = Simulator(seed=51)
+    net = Network(sim)
+    owner = TiamatSpaceAdapter(TiamatInstance(sim, net, "owner"))
+    reader = TiamatSpaceAdapter(TiamatInstance(sim, net, "reader"))
+    net.visibility.set_visible("owner", "reader")
+    stale = 0
+
+    def scenario_t():
+        nonlocal stale
+        for i in range(ROUNDS):
+            owner.out(Tuple("doc", i))
+            yield sim.timeout(1.0)
+            net.visibility.set_visible("owner", "reader", False)
+            take = owner.inp(Pattern("doc", i))
+            yield take.event
+            yield sim.timeout(1.0)
+            op = reader.rdp(Pattern("doc", i))
+            result = yield op.event
+            if result is not None:
+                stale += 1   # read of a consumed tuple: must never happen
+            net.visibility.set_visible("owner", "reader", True)
+            yield sim.timeout(1.0)
+
+    sim.spawn(scenario_t())
+    sim.run(until=10_000.0)
+    results["tiamat"] = {"stale_reads": stale, "post_repair": 0}
+    return results
+
+
+def run_orphans() -> dict:
+    """A node deposits 20 tuples and departs forever."""
+    results = {}
+
+    # --- Limbo: tuples replicated to everyone, owner gone => stuck -------
+    sim = Simulator(seed=52)
+    net = Network(sim)
+    nodes, _ = build_limbo_system(sim, net, ["dep", "a", "b"])
+    net.visibility.connect_clique(["dep", "a", "b"])
+    for i in range(20):
+        nodes["dep"].out(Tuple("baggage", i))
+    sim.run(until=5.0)
+    net.visibility.set_up("dep", False)  # departs, never returns
+    # Others try hard to remove the baggage.
+    attempts = []
+    for i in range(20):
+        attempts.append(nodes["a"].inp(Pattern("baggage", i)))
+    sim.run(until=1000.0)
+    removed = sum(1 for op in attempts if op.result is not None)
+    results["limbo"] = {
+        "removable_by_others": removed,
+        "resident_after_1000s": nodes["a"].space.count(Pattern("baggage", Formal(int))),
+    }
+
+    # --- Tiamat: the lease is the garbage collector ----------------------
+    sim = Simulator(seed=52)
+    net = Network(sim)
+    instances = {n: TiamatInstance(sim, net, n) for n in ("dep", "a", "b")}
+    net.visibility.connect_clique(["dep", "a", "b"])
+    for i in range(20):
+        instances["dep"].out(Tuple("baggage", i),
+                             requester=SimpleLeaseRequester(
+                                 LeaseTerms(duration=LEASE)))
+    sim.run(until=5.0)
+    net.visibility.set_up("dep", False)
+    sim.run(until=1000.0)
+    results["tiamat"] = {
+        "removable_by_others": "-",
+        "resident_after_1000s": instances["dep"].space.count(
+            Pattern("baggage", Formal(int))),
+    }
+    return results
+
+
+def test_t6_limbo_anomalies(benchmark, report):
+    stale = benchmark.pedantic(run_stale_reads, rounds=1, iterations=1)
+    orphans = run_orphans()
+
+    table = Table(
+        "T6a: reads of already-removed tuples (traditional Linda forbids any)",
+        ["system", "stale reads", "rounds"],
+        caption=f"{ROUNDS} rounds: owner removes a tuple while the reader "
+                "is disconnected; reader then reads",
+    )
+    table.add_row("limbo", stale["limbo"]["stale_reads"], ROUNDS)
+    table.add_row("tiamat", stale["tiamat"]["stale_reads"], ROUNDS)
+    report.table(table)
+
+    table_b = Table(
+        "T6b: tuples stranded by a departed owner",
+        ["system", "removable by others", "resident after 1000s"],
+        caption=f"20 tuples deposited, owner departs forever "
+                f"(Tiamat lease = {LEASE:.0f}s)",
+    )
+    table_b.add_row("limbo", orphans["limbo"]["removable_by_others"],
+                    orphans["limbo"]["resident_after_1000s"])
+    table_b.add_row("tiamat", orphans["tiamat"]["removable_by_others"],
+                    orphans["tiamat"]["resident_after_1000s"])
+    report.table(table_b)
+
+    # Paper shapes: Limbo exhibits both anomalies, Tiamat neither.
+    assert stale["limbo"]["stale_reads"] > ROUNDS // 2
+    assert stale["tiamat"]["stale_reads"] == 0
+    assert orphans["limbo"]["removable_by_others"] == 0
+    assert orphans["limbo"]["resident_after_1000s"] == 20
+    assert orphans["tiamat"]["resident_after_1000s"] == 0

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The paper's fractal generator, restructured as a Tiamat master/worker farm.
+
+Run with::
+
+    python examples/fractal_farm.py
+
+Renders the same Mandelbrot region with farms of 1, 2, and 4 workers and
+prints the completion times, then re-runs a render during which the worker
+pool grows and shrinks — the master never notices either change.
+"""
+
+from repro.apps import FractalMaster, FractalWorker
+from repro.core import TiamatConfig, TiamatInstance
+from repro.net import Network
+from repro.sim import Simulator
+
+TILES = 12
+RESOLUTION = 48
+MAX_ITER = 120
+TIME_PER_ITERATION = 2e-4  # virtual seconds per escape-time iteration
+
+
+def render(workers: int, seed: int = 5) -> tuple:
+    """One complete render; returns (elapsed, checksum, per-worker tiles)."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    names = ["master"] + [f"worker{i}" for i in range(workers)]
+    instances = {n: TiamatInstance(sim, net, n, config=config) for n in names}
+    net.visibility.connect_clique(names)
+    master = FractalMaster(sim, instances["master"], job="demo", tiles=TILES,
+                           resolution=RESOLUTION, max_iter=MAX_ITER)
+    pool = [FractalWorker(sim, instances[f"worker{i}"],
+                          time_per_iteration=TIME_PER_ITERATION)
+            for i in range(workers)]
+    for worker in pool:
+        worker.start()
+    sim.spawn(master.run())
+    sim.run(until=10_000.0)
+    assert master.complete, "render did not finish"
+    elapsed = master.finished_at - master.started_at
+    return elapsed, master.checksum, [w.tiles_done for w in pool]
+
+
+def main() -> None:
+    print(f"Rendering {TILES} tiles at {RESOLUTION}px, max_iter={MAX_ITER}\n")
+    baseline = None
+    for workers in (1, 2, 4):
+        elapsed, checksum, tiles = render(workers)
+        if baseline is None:
+            baseline = elapsed
+        print(f"  {workers} worker(s): {elapsed:7.2f}s "
+              f"(speedup {baseline / elapsed:4.2f}x)  "
+              f"checksum={checksum}  tiles per worker={tiles}")
+
+    print("\nElastic farm: grow to 3 workers at t=2, lose one at t=6")
+    sim = Simulator(seed=6)
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    master_inst = TiamatInstance(sim, net, "master", config=config)
+    w0_inst = TiamatInstance(sim, net, "worker0", config=config)
+    net.visibility.connect_clique(["master", "worker0"])
+    master = FractalMaster(sim, master_inst, job="elastic", tiles=TILES,
+                           resolution=RESOLUTION, max_iter=MAX_ITER)
+    pool = [FractalWorker(sim, w0_inst, time_per_iteration=TIME_PER_ITERATION)]
+    pool[0].start()
+    sim.spawn(master.run())
+
+    def grow():
+        for i in (1, 2):
+            inst = TiamatInstance(sim, net, f"worker{i}", config=config)
+            net.visibility.connect_clique(["master", "worker0", "worker1",
+                                           "worker2"][: i + 2])
+            worker = FractalWorker(sim, inst,
+                                   time_per_iteration=TIME_PER_ITERATION)
+            worker.start()
+            pool.append(worker)
+        print(f"  [t={sim.now:5.1f}] grew to 3 workers")
+
+    def shrink():
+        pool[0].stop()
+        net.visibility.set_up("worker0", False)
+        print(f"  [t={sim.now:5.1f}] worker0 departed")
+
+    sim.schedule(2.0, grow)
+    sim.schedule(6.0, shrink)
+    sim.run(until=10_000.0)
+    print(f"  [t={master.finished_at:5.1f}] render complete "
+          f"(checksum={master.checksum}); tiles per worker: "
+          f"{[w.tiles_done for w in pool]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: two Tiamat instances coordinating through the logical space.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the core model in five short acts:
+
+1. an isolated instance works against its own local space;
+2. two instances become visible and their logical spaces merge;
+3. a blocking ``in`` consumes a tuple exactly once across the network;
+4. every operation is leased — an expired out-lease reclaims the tuple;
+5. ``eval`` runs an active tuple whose result appears when ready.
+"""
+
+from repro import (
+    LeaseTerms,
+    Network,
+    Pattern,
+    SimpleLeaseRequester,
+    Simulator,
+    TiamatInstance,
+    Tuple,
+)
+
+
+def main() -> None:
+    sim = Simulator(seed=2026)
+    net = Network(sim)
+    alice = TiamatInstance(sim, net, "alice")
+    bob = TiamatInstance(sim, net, "bob")
+
+    # -- Act 1: isolation -------------------------------------------------
+    alice.out(Tuple("note", "hello from alice"))
+    op = bob.rdp(Pattern("note", str))
+    sim.run(until=5.0)
+    print(f"[t={sim.now:5.1f}] bob (isolated) sees alice's note: {op.result}")
+
+    # -- Act 2: visibility merges the logical spaces ----------------------
+    net.visibility.set_visible("alice", "bob")
+    op = bob.rdp(Pattern("note", str))
+    sim.run(until=10.0)
+    print(f"[t={sim.now:5.1f}] bob (visible)  sees alice's note: "
+          f"{op.result} from {op.source}")
+
+    # -- Act 3: blocking take, exactly once --------------------------------
+    take = bob.in_(Pattern("note", str))
+    sim.run(until=15.0)
+    print(f"[t={sim.now:5.1f}] bob's in() consumed the note: {take.result}")
+    print(f"          alice's space now holds "
+          f"{alice.space.count(Pattern('note', str))} matching tuples")
+
+    # -- Act 4: leases are the garbage collector --------------------------
+    alice.out(Tuple("ephemeral", 1),
+              requester=SimpleLeaseRequester(LeaseTerms(duration=3.0)))
+    print(f"[t={sim.now:5.1f}] alice deposited a tuple on a 3-second lease")
+    sim.run(until=sim.now + 5.0)
+    count = alice.space.count(Pattern("ephemeral", int))
+    print(f"[t={sim.now:5.1f}] after lease expiry the tuple is gone "
+          f"(count={count})")
+
+    # -- Act 5: eval (active tuples) ---------------------------------------
+    alice.eval(lambda a, b: Tuple("sum", a + b), 20, 22, compute_time=2.0)
+    wait = bob.rd(Pattern("sum", int))
+    sim.run(until=sim.now + 10.0)
+    print(f"[t={sim.now:5.1f}] bob read the eval result: {wait.result}")
+
+    print("\nNetwork totals:", net.stats.total_messages, "messages,",
+          net.stats.total_bytes, "bytes")
+
+
+if __name__ == "__main__":
+    main()

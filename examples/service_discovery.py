@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Ad-hoc service discovery with soft-state adverts (leases as heartbeats).
+
+Run with::
+
+    python examples/service_discovery.py
+
+Providers advertise their services as leased tuples and refresh the advert
+while alive; clients discover and invoke whatever is around, with no
+registry and no names exchanged.  When the translator device dies, its
+advert expires on its own — no stale registration to clean up — and a
+replacement that appears later is discovered just as anonymously.
+"""
+
+from repro.apps import ServiceClient, ServiceProvider
+from repro.core import TiamatConfig, TiamatInstance
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def main() -> None:
+    sim = Simulator(seed=404)
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    names = ["translator", "calculator", "laptop"]
+    inst = {n: TiamatInstance(sim, net, n, config=config) for n in names}
+    net.visibility.connect_clique(names)
+
+    translator = ServiceProvider(sim, inst["translator"], "translate",
+                                 lambda s: s.replace("hello", "bonjour"),
+                                 advert_lease=8.0, refresh_every=3.0)
+    translator.start()
+    ServiceProvider(sim, inst["calculator"], "sum",
+                    lambda s: str(sum(int(x) for x in s.split()))).start()
+
+    client = ServiceClient(sim, inst["laptop"])
+
+    def session():
+        types = yield from client.available_types(["translate", "sum", "print"])
+        print(f"[t={sim.now:5.1f}] services in range: {types}")
+        result = yield from client.call("translate", "hello world")
+        print(f"[t={sim.now:5.1f}] translate('hello world') -> {result!r}")
+        result = yield from client.call("sum", "3 4 5")
+        print(f"[t={sim.now:5.1f}] sum('3 4 5')             -> {result!r}")
+
+        # The translator device dies; its advert expires on its own.
+        translator.stop()
+        net.visibility.set_up("translator", False)
+        print(f"[t={sim.now:5.1f}] translator died (no deregistration sent)")
+        yield sim.timeout(15.0)
+        types = yield from client.available_types(["translate", "sum"])
+        print(f"[t={sim.now:5.1f}] services in range now: {types}")
+
+        # A replacement translator wanders in.
+        replacement = TiamatInstance(sim, net, "translator2", config=config)
+        net.visibility.connect_clique(["translator2", "calculator", "laptop"])
+        ServiceProvider(sim, replacement, "translate",
+                        lambda s: s.replace("hello", "hallo")).start()
+        yield sim.timeout(2.0)
+        result = yield from client.call("translate", "hello again")
+        print(f"[t={sim.now:5.1f}] translate('hello again')  -> {result!r} "
+              f"(new provider, same client code)")
+
+    sim.spawn(session())
+    sim.run(until=300.0)
+    print(f"\ncalls completed: {client.completed}/{client.calls}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The tuple-space kernel over real OS threads (no simulator anywhere).
+
+Run with::
+
+    python examples/threaded_workers.py
+
+A master thread posts genuinely computed jobs into its node's space; four
+worker threads on other nodes take jobs through their opportunistic
+logical spaces, compute, and post results back.  Mid-run, one node's
+visibility is cut and restored — the threads never notice beyond a pause,
+because the logical space re-samples visibility on every probe.
+"""
+
+import threading
+import time
+
+from repro.runtime import ThreadedNodeRegistry, ThreadedTiamatNode
+from repro.tuples import Formal, Pattern, Tuple
+
+JOBS = 24
+
+
+def main() -> None:
+    registry = ThreadedNodeRegistry()
+    master = ThreadedTiamatNode(registry, "master")
+    workers = [ThreadedTiamatNode(registry, f"worker{i}") for i in range(4)]
+    for worker in workers:
+        registry.set_visible("master", worker.name)
+
+    for i in range(JOBS):
+        master.out(Tuple("job", i, (i + 1) * 111))
+
+    done = threading.Event()
+    counts = {w.name: 0 for w in workers}
+
+    def work(node: ThreadedTiamatNode) -> None:
+        while not done.is_set():
+            job = node.in_(Pattern("job", Formal(int), Formal(int)), timeout=0.3)
+            if job is None:
+                continue
+            _, job_id, n = job.fields
+            total = sum(range(n))  # a real (small) computation
+            node.out(Tuple("result", job_id, total))
+            counts[node.name] += 1
+
+    threads = [threading.Thread(target=work, args=(w,), daemon=True)
+               for w in workers]
+    for thread in threads:
+        thread.start()
+
+    # Flap one worker's visibility mid-run.
+    time.sleep(0.05)
+    registry.set_visible("master", "worker0", False)
+    print("cut worker0's visibility...")
+    time.sleep(0.1)
+    registry.set_visible("master", "worker0", True)
+    print("...and restored it")
+
+    results = []
+    for _ in range(JOBS):
+        result = master.in_(Pattern("result", Formal(int), Formal(int)),
+                            timeout=10.0)
+        assert result is not None, "a job result never arrived"
+        results.append(result)
+    done.set()
+    for thread in threads:
+        thread.join(timeout=2.0)
+
+    checks = all(result[2] == sum(range((result[1] + 1) * 111))
+                 for result in results)
+    print(f"collected {len(results)}/{JOBS} results, all correct: {checks}")
+    print("jobs per worker:", dict(sorted(counts.items())))
+
+
+if __name__ == "__main__":
+    main()

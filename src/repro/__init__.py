@@ -1,0 +1,59 @@
+"""Tiamat: generative communication in a changing world — full reproduction.
+
+A production-quality Python reproduction of McSorley & Evans, *Tiamat:
+Generative Communication in a Changing World* (Middleware 2003): a
+Linda-style tuple-space middleware for pervasive environments built on
+**opportunistic logical tuple spaces** and a **pervasive leasing model**,
+together with every substrate it needs (a deterministic discrete-event
+kernel, a simulated mobile radio network) and the five comparison systems
+from the paper's related-work analysis (centralized client/server, Limbo,
+LIME, CoreLime, PeerSpaces).
+
+Package map
+-----------
+
+=====================  ====================================================
+``repro.sim``          discrete-event kernel: clock, events, processes, RNG
+``repro.tuples``       tuples, antituples, matching, stores, local spaces
+``repro.net``          visibility graph, mobility, churn, message delivery
+``repro.leasing``      lease terms/negotiation/policies/resource factories
+``repro.core``         Tiamat itself: instances, logical-space operations
+``repro.baselines``    the five compared systems
+``repro.apps``         web client/proxy and fractal sample applications
+``repro.bench``        harness utilities for the benchmark scripts
+``repro.runtime``      real-thread runtime for the same tuple-space kernel
+=====================  ====================================================
+
+Quickstart: see ``examples/quickstart.py`` and the README.
+"""
+
+from repro.core import (
+    SpaceHandle,
+    TiamatConfig,
+    TiamatInstance,
+    UnavailablePolicy,
+)
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import Network, VisibilityGraph
+from repro.sim import Simulator
+from repro.tuples import ANY, Formal, Pattern, Range, Tuple
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "Formal",
+    "LeaseTerms",
+    "Network",
+    "Pattern",
+    "Range",
+    "SimpleLeaseRequester",
+    "Simulator",
+    "SpaceHandle",
+    "TiamatConfig",
+    "TiamatInstance",
+    "Tuple",
+    "UnavailablePolicy",
+    "VisibilityGraph",
+    "__version__",
+]

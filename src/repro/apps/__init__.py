@@ -1,0 +1,40 @@
+"""Sample applications (section 3.2) and synthetic workloads.
+
+The paper evaluates Tiamat by porting two third-party applications onto the
+tuple space with ~200 lines of glue:
+
+* :mod:`repro.apps.webproxy` — a web client + proxy server pair that
+  coordinate anonymously through the space.  Proxies can be added for load
+  balancing or to replace failures without the clients noticing, and a
+  disconnected client's requests are served once a proxy becomes visible
+  (if the request tuple's lease has not expired).
+* :mod:`repro.apps.fractal` — a Mandelbrot renderer restructured from a
+  load-balancing server into masters and workers that exchange task and
+  result tuples; worker count can change mid-render without perturbing the
+  master.
+
+:mod:`repro.apps.services` adds a third domain: ad-hoc service discovery
+with soft-state (leased) adverts, and :mod:`repro.apps.workloads` provides
+the synthetic request/response workload used by the cross-system
+comparison benches.
+"""
+
+from repro.apps.webproxy import OriginFabric, ProxyServer, WebClient, WebScenario
+from repro.apps.fractal import FractalMaster, FractalWorker, mandelbrot_tile
+from repro.apps.services import ServiceClient, ServiceProvider, advert_pattern
+from repro.apps.workloads import RequestResponseWorkload, WorkloadStats
+
+__all__ = [
+    "FractalMaster",
+    "FractalWorker",
+    "OriginFabric",
+    "ProxyServer",
+    "RequestResponseWorkload",
+    "ServiceClient",
+    "ServiceProvider",
+    "WebClient",
+    "WebScenario",
+    "WorkloadStats",
+    "advert_pattern",
+    "mandelbrot_tile",
+]

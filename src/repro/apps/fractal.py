@@ -1,0 +1,164 @@
+"""The fractal generator application (section 3.2).
+
+"The load balancing server was removed and the data producers communicated
+with the entities performing the calculations through the space ...
+masters placing identified tuples defining the calculation to be performed,
+and the workers attaching the same identity to the result.  Once again, the
+number of entities performing calculations could be increased and decreased
+without perturbing the clients."
+
+The computation is a real Mandelbrot escape-time kernel so that tile costs
+are genuinely unequal (tiles over the set's interior hit ``max_iter``
+everywhere and cost the most) — the load imbalance that made the original
+application need a balancing server in the first place.  Virtual compute
+time is proportional to the actual iteration work performed.
+
+Tuple vocabulary::
+
+    ("frac_task",   <job:str>, <tile:int>, (<x0> <y0> <x1> <y1> <nx> <ny> <max_iter>))
+    ("frac_result", <job:str>, <tile:int>, <total_iterations:int>)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.instance import TiamatInstance
+from repro.errors import LeaseError
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.sim.kernel import Simulator
+from repro.tuples import Formal, Pattern, Tuple
+
+TASK_TAG = "frac_task"
+RESULT_TAG = "frac_result"
+
+
+def mandelbrot_tile(x0: float, y0: float, x1: float, y1: float,
+                    nx: int, ny: int, max_iter: int) -> int:
+    """Render one tile; returns the total escape-time iteration count.
+
+    The iteration total is both the "image" checksum the master aggregates
+    and an exact measure of how much work the tile cost.
+    """
+    total = 0
+    for j in range(ny):
+        ci = y0 + (y1 - y0) * (j + 0.5) / ny
+        for i in range(nx):
+            cr = x0 + (x1 - x0) * (i + 0.5) / nx
+            zr = zi = 0.0
+            count = 0
+            while count < max_iter and zr * zr + zi * zi <= 4.0:
+                zr, zi = zr * zr - zi * zi + cr, 2.0 * zr * zi + ci
+                count += 1
+            total += count
+    return total
+
+
+class FractalMaster:
+    """Splits a region into tile tasks and collects the results."""
+
+    def __init__(self, sim: Simulator, instance: TiamatInstance, job: str,
+                 region: tuple = (-2.0, -1.25, 0.5, 1.25),
+                 tiles: int = 16, resolution: int = 24, max_iter: int = 60,
+                 task_lease: float = 300.0, collect_lease: float = 300.0) -> None:
+        self.sim = sim
+        self.instance = instance
+        self.job = job
+        self.region = region
+        self.tiles = tiles
+        self.resolution = resolution
+        self.max_iter = max_iter
+        self.task_lease = task_lease
+        self.collect_lease = collect_lease
+        self.results: dict[int, int] = {}
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        """True once every tile's result has been collected."""
+        return len(self.results) == self.tiles
+
+    @property
+    def checksum(self) -> int:
+        """Aggregate of all tile iteration totals (the rendered 'image')."""
+        return sum(self.results.values())
+
+    def run(self):
+        """The master process: post all tasks, then gather all results."""
+        self.started_at = self.sim.now
+        x0, y0, x1, y1 = self.region
+        for t in range(self.tiles):
+            ty0 = y0 + (y1 - y0) * t / self.tiles
+            ty1 = y0 + (y1 - y0) * (t + 1) / self.tiles
+            params = Tuple(x0, ty0, x1, ty1, self.resolution,
+                           max(1, self.resolution // self.tiles), self.max_iter)
+            self.instance.out(
+                Tuple(TASK_TAG, self.job, t, params),
+                requester=SimpleLeaseRequester(LeaseTerms(duration=self.task_lease)))
+        while not self.complete:
+            op = self.instance.in_(
+                Pattern(RESULT_TAG, self.job, Formal(int), Formal(int)),
+                requester=SimpleLeaseRequester(
+                    LeaseTerms(duration=self.collect_lease, max_remotes=32)))
+            result = yield op.event
+            if result is None:
+                break  # collection lease expired: give up on missing tiles
+            self.results[result[2]] = result[3]
+        if self.complete:
+            self.finished_at = self.sim.now
+        return self.checksum if self.complete else None
+
+
+class FractalWorker:
+    """Takes task tuples, computes tiles, and posts result tuples."""
+
+    #: Default virtual seconds of compute per escape-time iteration.
+    TIME_PER_ITERATION = 2e-6
+
+    def __init__(self, sim: Simulator, instance: TiamatInstance,
+                 wait_lease: float = 30.0,
+                 time_per_iteration: Optional[float] = None) -> None:
+        self.sim = sim
+        self.instance = instance
+        self.wait_lease = wait_lease
+        self.time_per_iteration = (time_per_iteration if time_per_iteration is not None
+                                   else self.TIME_PER_ITERATION)
+        self.tiles_done = 0
+        self.iterations_done = 0
+        self.running = False
+        self._process = None
+
+    def start(self) -> None:
+        """Begin the work loop."""
+        self.running = True
+        self._process = self.sim.spawn(self._work_loop())
+
+    def stop(self) -> None:
+        """Stop taking new tasks."""
+        self.running = False
+
+    def _work_loop(self):
+        while self.running:
+            try:
+                op = self.instance.in_(
+                    Pattern(TASK_TAG, Formal(str), Formal(int), Formal(Tuple)),
+                    requester=SimpleLeaseRequester(
+                        LeaseTerms(duration=self.wait_lease, max_remotes=16)))
+            except LeaseError:
+                yield self.sim.timeout(1.0)
+                continue
+            task = yield op.event
+            if task is None:
+                continue
+            job, tile, params = task[1], task[2], task[3]
+            x0, y0, x1, y1, nx, ny, max_iter = params.fields
+            iterations = mandelbrot_tile(x0, y0, x1, y1, nx, ny, max_iter)
+            # Virtual compute time proportional to the real work done.
+            yield self.sim.timeout(iterations * self.time_per_iteration)
+            self.tiles_done += 1
+            self.iterations_done += iterations
+            try:
+                self.instance.out(Tuple(RESULT_TAG, job, tile, iterations))
+            except LeaseError:
+                pass  # result lost; the master's collection lease bounds this

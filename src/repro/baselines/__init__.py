@@ -1,0 +1,48 @@
+"""Baseline generative-communication systems from the paper's section 4.
+
+Each baseline is a faithful protocol model of the cited system's
+*structure* — the properties the paper's comparison (section 4.7) turns on:
+
+* :mod:`repro.baselines.central` — TSpaces/JavaSpaces-style client/server:
+  one machine must be visible to all others.
+* :mod:`repro.baselines.limbo` — Limbo's Distributed Tuple Space: full
+  replication over multicast, per-tuple ownership, disconnected operation
+  with reconnect synchronisation — and the anomalies those bring
+  (stale reads of removed tuples, orphaned tuples when owners leave).
+* :mod:`repro.baselines.lime` — LIME: federated tuple spaces with global
+  consistency and *atomic* engagement/disengagement that blocks all other
+  operations, which is what limits it to small federations.
+* :mod:`repro.baselines.corelime` — CoreLime: host-level spaces only;
+  remote access requires explicitly migrating a mobile agent.
+* :mod:`repro.baselines.peers` — PeerSpaces: per-node spaces searched by
+  flooding broadcast with a TTL; leases exist only for search
+  fault-tolerance; deposited tuples never expire.
+
+All baselines implement the common :class:`~repro.baselines.base.SpaceNode`
+interface, so the T5 comparison bench can drive every system (including
+Tiamat, via an adapter) with the same workload.
+"""
+
+from repro.baselines.base import SimpleOp, SpaceNode
+from repro.baselines.central import CentralClient, CentralServer, build_central_system
+from repro.baselines.limbo import LimboNode, build_limbo_system
+from repro.baselines.lime import Federation, LimeHost, build_lime_system
+from repro.baselines.corelime import CoreLimeHost, build_corelime_system
+from repro.baselines.peers import PeerNode, build_peers_system
+
+__all__ = [
+    "CentralClient",
+    "CentralServer",
+    "CoreLimeHost",
+    "Federation",
+    "LimboNode",
+    "LimeHost",
+    "PeerNode",
+    "SimpleOp",
+    "SpaceNode",
+    "build_central_system",
+    "build_corelime_system",
+    "build_lime_system",
+    "build_limbo_system",
+    "build_peers_system",
+]

@@ -1,0 +1,224 @@
+"""LIME protocol model: federated tuple spaces with global consistency.
+
+Section 4.4: LIME engages host-level spaces "into larger federated tuple
+spaces.  Unlike Tiamat, LIME does not do this on an opportunistic basis,
+rather it tries to ensure global consistency across hosts ... LIME also
+requires the space engagement and disengagement operations to be atomic
+across all hosts in the federated space.  This means that other operations
+cannot proceed while hosts are engaging/disengaging."  The paper notes the
+prototype "cannot function with more than six hosts forming a single
+federated space".
+
+Model:
+
+* one :class:`Federation` holds the globally consistent shared store;
+* engagement/disengagement is a barrier: it takes time proportional to the
+  current federation size (a distributed transaction over all members) and
+  *blocks every operation* issued meanwhile — they queue and run after;
+* every data operation pays a consistency round: one message to each other
+  member (charged to the network for honest accounting);
+* federations beyond ``max_hosts`` members fail engagement outright,
+  reproducing the reported scalability wall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import SimpleOp, SpaceNode
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.tuples import LocalTupleSpace, Pattern, Tuple
+
+
+class Federation:
+    """The shared, globally consistent federated space."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 engage_cost_per_host: float = 0.25,
+                 max_hosts: Optional[int] = 6) -> None:
+        self.sim = sim
+        self.network = network
+        self.space = LocalTupleSpace(sim, name="federation")
+        self.engage_cost_per_host = engage_cost_per_host
+        self.max_hosts = max_hosts
+        self.members: list[str] = []
+        self._pending_engagements = 0
+        self.busy_until = 0.0
+        self._queued: list = []
+        # statistics
+        self.engagements = 0
+        self.engagement_failures = 0
+        self.ops_blocked_by_engagement = 0
+
+    # ------------------------------------------------------------------
+    # Engagement barrier
+    # ------------------------------------------------------------------
+    @property
+    def engaged_count(self) -> int:
+        """Hosts currently in the federation."""
+        return len(self.members)
+
+    def engage(self, host: "LimeHost") -> SimpleOp:
+        """Atomically add a host; blocks all operations while in progress."""
+        handle = SimpleOp(self.sim)
+        committed = len(self.members) + self._pending_engagements
+        if self.max_hosts is not None and committed >= self.max_hosts:
+            self.engagement_failures += 1
+            handle.finalize(None, error="federation at capacity")
+            return handle
+        self._pending_engagements += 1
+        cost = self.engage_cost_per_host * max(1, len(self.members) + 1)
+        start = max(self.sim.now, self.busy_until)
+        self.busy_until = start + cost
+        self.engagements += 1
+        # The engagement transaction touches every current member.
+        for member in self.members:
+            self.network.unicast(host.name, member, {"kind": "lime_engage"})
+        self.sim.schedule_at(self.busy_until, self._complete_engage, host, handle)
+        return handle
+
+    def _complete_engage(self, host: "LimeHost", handle: SimpleOp) -> None:
+        self._pending_engagements = max(0, self._pending_engagements - 1)
+        if host.name not in self.members:
+            self.members.append(host.name)
+        host.engaged = True
+        handle.finalize(Tuple("engaged", host.name))
+        self._drain()
+
+    def disengage(self, host: "LimeHost") -> SimpleOp:
+        """Atomically remove a host (same barrier semantics)."""
+        handle = SimpleOp(self.sim)
+        cost = self.engage_cost_per_host * max(1, len(self.members))
+        start = max(self.sim.now, self.busy_until)
+        self.busy_until = start + cost
+        self.sim.schedule_at(self.busy_until, self._complete_disengage, host, handle)
+        return handle
+
+    def _complete_disengage(self, host: "LimeHost", handle: SimpleOp) -> None:
+        if host.name in self.members:
+            self.members.remove(host.name)
+        host.engaged = False
+        handle.finalize(Tuple("disengaged", host.name))
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Operation admission (blocked during engagement)
+    # ------------------------------------------------------------------
+    def submit(self, fn, *args) -> None:
+        """Run an operation now, or queue it behind the engagement barrier."""
+        if self.sim.now < self.busy_until:
+            self.ops_blocked_by_engagement += 1
+            self._queued.append((fn, args))
+        else:
+            fn(*args)
+
+    def _drain(self) -> None:
+        if self.sim.now < self.busy_until:
+            return  # another engagement is already in progress
+        queued, self._queued = self._queued, []
+        for fn, args in queued:
+            fn(*args)
+
+    def consistency_round(self, origin: str) -> None:
+        """Charge the per-operation consistency traffic to the network."""
+        for member in self.members:
+            if member != origin:
+                self.network.unicast(origin, member, {"kind": "lime_sync"})
+
+
+class LimeHost(SpaceNode):
+    """A host participating in (at most) one federation."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 federation: Federation) -> None:
+        self.sim = sim
+        self.name = name
+        self.federation = federation
+        self.engaged = False
+        self.iface = network.attach(name, lambda msg: None)
+        self.local_space = LocalTupleSpace(sim, name=name)
+
+    # ------------------------------------------------------------------
+    def engage(self) -> SimpleOp:
+        """Join the federation (atomic, blocking everyone else)."""
+        return self.federation.engage(self)
+
+    def disengage(self) -> SimpleOp:
+        """Leave the federation (atomic, blocking everyone else)."""
+        return self.federation.disengage(self)
+
+    def _space(self) -> LocalTupleSpace:
+        return self.federation.space if self.engaged else self.local_space
+
+    # ------------------------------------------------------------------
+    def out(self, tup: Tuple) -> None:
+        self.federation.submit(self._do_out, tup)
+
+    def _do_out(self, tup: Tuple) -> None:
+        space = self._space()
+        space.out(tup)
+        if self.engaged:
+            self.federation.consistency_round(self.name)
+
+    def rdp(self, pattern: Pattern) -> SimpleOp:
+        handle = SimpleOp(self.sim)
+        self.federation.submit(self._do_probe, pattern, handle, False)
+        return handle
+
+    def inp(self, pattern: Pattern) -> SimpleOp:
+        handle = SimpleOp(self.sim)
+        self.federation.submit(self._do_probe, pattern, handle, True)
+        return handle
+
+    def _do_probe(self, pattern: Pattern, handle: SimpleOp, remove: bool) -> None:
+        space = self._space()
+        tup = space.inp(pattern) if remove else space.rdp(pattern)
+        if self.engaged:
+            self.federation.consistency_round(self.name)
+        handle.finalize(tup, None if tup is not None else "no match")
+
+    def rd(self, pattern: Pattern, timeout: float = 30.0) -> SimpleOp:
+        return self._blocking(pattern, timeout, remove=False)
+
+    def in_(self, pattern: Pattern, timeout: float = 30.0) -> SimpleOp:
+        return self._blocking(pattern, timeout, remove=True)
+
+    def _blocking(self, pattern: Pattern, timeout: float, remove: bool) -> SimpleOp:
+        handle = SimpleOp(self.sim)
+        self.federation.submit(self._do_blocking, pattern, handle, remove, timeout)
+        return handle
+
+    def _do_blocking(self, pattern: Pattern, handle: SimpleOp, remove: bool,
+                     timeout: float) -> None:
+        space = self._space()
+        waiter = space.in_(pattern) if remove else space.rd(pattern)
+        if self.engaged:
+            self.federation.consistency_round(self.name)
+        if waiter.satisfied:
+            handle.finalize(waiter.event.value)
+            return
+        waiter.event.add_callback(lambda event: handle.finalize(event.value))
+        self.sim.schedule(timeout, self._give_up, waiter, handle)
+
+    def _give_up(self, waiter, handle: SimpleOp) -> None:
+        if not handle.done:
+            waiter.cancel()
+            handle.finalize(None, error="timeout")
+
+    def stored_tuples(self) -> int:
+        # The federated store's burden is shared; attribute an even share.
+        if self.engaged and self.federation.members:
+            share = self.federation.space.count() / len(self.federation.members)
+            return int(share) + self.local_space.count()
+        return self.local_space.count()
+
+
+def build_lime_system(sim: Simulator, network: Network, names: list[str],
+                      max_hosts: Optional[int] = 6,
+                      engage_cost_per_host: float = 0.25):
+    """Construct a federation plus hosts (not yet engaged)."""
+    federation = Federation(sim, network, engage_cost_per_host=engage_cost_per_host,
+                            max_hosts=max_hosts)
+    hosts = {name: LimeHost(sim, network, name, federation) for name in names}
+    return federation, hosts

@@ -1,0 +1,20 @@
+"""Benchmark harness: adapters, scenario builders, and report formatting.
+
+Used by the scripts in ``benchmarks/`` to regenerate every figure and
+evaluative claim of the paper (see the experiment index in DESIGN.md and
+the recorded outcomes in EXPERIMENTS.md).
+"""
+
+from repro.bench.adapter import CoreLimeAgentAdapter, TiamatSpaceAdapter
+from repro.bench.reporting import Table, format_series
+from repro.bench.scenarios import SYSTEMS, build_system, clique_names
+
+__all__ = [
+    "CoreLimeAgentAdapter",
+    "SYSTEMS",
+    "Table",
+    "TiamatSpaceAdapter",
+    "build_system",
+    "clique_names",
+    "format_series",
+]

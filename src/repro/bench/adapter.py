@@ -1,0 +1,138 @@
+"""Adapter exposing a TiamatInstance through the SpaceNode bench interface.
+
+The cross-system comparison drives every system with the same workload;
+this adapter maps the generic ``timeout`` of the bench contract onto
+Tiamat's native notion of effort — a lease of that duration.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import SimpleOp, SpaceNode
+from repro.core.handles import SPACE_INFO_PATTERN
+from repro.core.instance import TiamatInstance
+from repro.errors import LeaseError
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.tuples import Pattern, Tuple
+
+
+class TiamatSpaceAdapter(SpaceNode):
+    """A TiamatInstance dressed as a generic SpaceNode."""
+
+    def __init__(self, instance: TiamatInstance,
+                 out_lease: float = 120.0, probe_lease: float = 2.0,
+                 max_remotes: int = 32) -> None:
+        self.instance = instance
+        self.name = instance.name
+        self.out_lease = out_lease
+        self.probe_lease = probe_lease
+        self.max_remotes = max_remotes
+
+    # ------------------------------------------------------------------
+    def out(self, tup: Tuple) -> None:
+        try:
+            self.instance.out(
+                tup,
+                requester=SimpleLeaseRequester(LeaseTerms(duration=self.out_lease)))
+        except LeaseError:
+            pass  # refused deposits are simply lost, like a full baseline node
+
+    def rdp(self, pattern: Pattern) -> SimpleOp:
+        return self._wrap(self.instance.rdp(
+            pattern, requester=self._requester(self.probe_lease)))
+
+    def inp(self, pattern: Pattern) -> SimpleOp:
+        return self._wrap(self.instance.inp(
+            pattern, requester=self._requester(self.probe_lease)))
+
+    def rd(self, pattern: Pattern, timeout: float = 30.0) -> SimpleOp:
+        return self._wrap(self.instance.rd(
+            pattern, requester=self._requester(timeout)))
+
+    def in_(self, pattern: Pattern, timeout: float = 30.0) -> SimpleOp:
+        return self._wrap(self.instance.in_(
+            pattern, requester=self._requester(timeout)))
+
+    def stored_tuples(self) -> int:
+        # Exclude the infrastructure space-info tuple for a fair count.
+        return (self.instance.space.count()
+                - self.instance.space.count(SPACE_INFO_PATTERN))
+
+    # ------------------------------------------------------------------
+    def _requester(self, duration: float) -> SimpleLeaseRequester:
+        return SimpleLeaseRequester(
+            LeaseTerms(duration=duration, max_remotes=self.max_remotes))
+
+    def _wrap(self, operation) -> SimpleOp:
+        handle = SimpleOp(self.instance.sim)
+        operation.event.add_callback(
+            lambda event: handle.finalize(
+                event.value, None if event.value is not None else "lease expired"))
+        return handle
+
+
+class CoreLimeAgentAdapter(SpaceNode):
+    """Drives a CoreLime host's remote access through mobile agents.
+
+    CoreLime's own operations are local-only; "the burden of [federation]
+    is placed on the application developer" (section 4.5).  This adapter
+    *is* that application code: it polls the other hosts with migrating
+    agents, one at a time, until a match or the timeout.  The agent traffic
+    is charged to the network, so the comparison sees CoreLime's real
+    per-operation cost.
+    """
+
+    def __init__(self, host, peer_names: list[str]) -> None:
+        self.host = host
+        self.name = host.name
+        self.peers = [p for p in peer_names if p != host.name]
+        self.sim = host.sim
+
+    def out(self, tup: Tuple) -> None:
+        self.host.out(tup)
+
+    def rdp(self, pattern: Pattern) -> SimpleOp:
+        return self._agent_scan(pattern, "rdp", deadline=self.sim.now + 5.0)
+
+    def inp(self, pattern: Pattern) -> SimpleOp:
+        return self._agent_scan(pattern, "inp", deadline=self.sim.now + 5.0)
+
+    def rd(self, pattern: Pattern, timeout: float = 30.0) -> SimpleOp:
+        return self._agent_scan(pattern, "rdp", deadline=self.sim.now + timeout,
+                                repeat=True)
+
+    def in_(self, pattern: Pattern, timeout: float = 30.0) -> SimpleOp:
+        return self._agent_scan(pattern, "inp", deadline=self.sim.now + timeout,
+                                repeat=True)
+
+    def stored_tuples(self) -> int:
+        return self.host.stored_tuples()
+
+    # ------------------------------------------------------------------
+    def _agent_scan(self, pattern: Pattern, op: str, deadline: float,
+                    repeat: bool = False) -> SimpleOp:
+        handle = SimpleOp(self.sim)
+        self.sim.spawn(self._scan_process(pattern, op, deadline, repeat, handle))
+        return handle
+
+    def _scan_process(self, pattern: Pattern, op: str, deadline: float,
+                      repeat: bool, handle: SimpleOp):
+        while not handle.done and self.sim.now < deadline:
+            # Check home first, then tour the peers by agent.
+            local = (self.host.space.inp(pattern) if op == "inp"
+                     else self.host.space.rdp(pattern))
+            if local is not None:
+                handle.finalize(local)
+                return
+            for peer in self.peers:
+                if handle.done or self.sim.now >= deadline:
+                    break
+                agent = self.host.send_agent(peer, op, pattern, timeout=2.0)
+                result = yield agent.event
+                if result is not None:
+                    handle.finalize(result)
+                    return
+            if not repeat:
+                break
+            yield self.sim.timeout(1.0)
+        if not handle.done:
+            handle.finalize(None, error="timeout")

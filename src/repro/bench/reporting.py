@@ -1,0 +1,61 @@
+"""Plain-text table/series formatting for benchmark reports.
+
+Every benchmark prints its rows through these helpers so the output in
+``bench_output.txt`` has one consistent, diffable shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+
+class Table:
+    """A fixed-width text table with a title and caption."""
+
+    def __init__(self, title: str, headers: list[str],
+                 caption: Optional[str] = None) -> None:
+        self.title = title
+        self.headers = headers
+        self.caption = caption
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row; cells are stringified (floats to 3 sig figs)."""
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3g}"
+        return str(cell)
+
+    def render(self) -> str:
+        """The formatted table as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        if self.caption:
+            lines.append(self.caption)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> str:
+        """Print and return the rendering."""
+        text = self.render()
+        print()
+        print(text)
+        return text
+
+
+def format_series(label: str, points: Iterable[tuple]) -> str:
+    """One-line series rendering: ``label: (x1, y1) (x2, y2) ...``."""
+    body = " ".join(
+        "(" + ", ".join(Table._fmt(v) for v in point) + ")" for point in points
+    )
+    return f"{label}: {body}"

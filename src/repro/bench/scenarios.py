@@ -1,0 +1,85 @@
+"""Scenario builders shared by the comparison benchmarks.
+
+:func:`build_system` constructs any of the six compared systems over a
+fresh simulator + network and returns the pieces the benches need:
+``(sim, network, {name: SpaceNode})``.  Churn and visibility scripting are
+applied by the benches themselves, on the returned network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines import (
+    build_central_system,
+    build_corelime_system,
+    build_lime_system,
+    build_limbo_system,
+    build_peers_system,
+)
+from repro.bench.adapter import TiamatSpaceAdapter
+from repro.core import TiamatConfig, TiamatInstance
+from repro.net import Network
+from repro.sim import Simulator
+
+#: The systems the comparison benches iterate over.
+SYSTEMS = ("tiamat", "central", "limbo", "lime", "corelime", "peers")
+
+
+def clique_names(n: int, prefix: str = "n") -> list[str]:
+    """Standard node names for an n-node scenario."""
+    return [f"{prefix}{i}" for i in range(n)]
+
+
+def build_system(system: str, n: int, seed: int = 0,
+                 config: Optional[TiamatConfig] = None,
+                 connect: bool = True,
+                 max_remotes: Optional[int] = None):
+    """Build one of the six systems with ``n`` participant nodes.
+
+    For ``central`` the server is an *extra* node (the paper's critique is
+    precisely that this machine must stay visible); all other systems are
+    symmetric.  Returns ``(sim, network, nodes)`` where ``nodes`` maps the
+    n participant names to :class:`SpaceNode` objects.
+
+    ``max_remotes`` sets the Tiamat adapter's per-operation remote-contact
+    lease budget (default: 32, the adapter's own default); scale it with
+    ``n`` when the workload needs full-population coverage.
+    """
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    names = clique_names(n)
+    if system == "tiamat":
+        adapter_kwargs = {} if max_remotes is None else {"max_remotes": max_remotes}
+        nodes = {
+            name: TiamatSpaceAdapter(
+                TiamatInstance(sim, network, name,
+                               config=config if config is not None else TiamatConfig()),
+                **adapter_kwargs)
+            for name in names
+        }
+    elif system == "central":
+        _, clients = build_central_system(sim, network, names)
+        nodes = clients
+        if connect:
+            network.visibility.connect_clique(names + ["server"])
+    elif system == "limbo":
+        nodes, _ = build_limbo_system(sim, network, names)
+    elif system == "lime":
+        federation, hosts = build_lime_system(sim, network, names, max_hosts=6)
+        for name in names:
+            hosts[name].engage()
+        nodes = hosts
+    elif system == "corelime":
+        from repro.bench.adapter import CoreLimeAgentAdapter
+
+        hosts = build_corelime_system(sim, network, names)
+        nodes = {name: CoreLimeAgentAdapter(host, names)
+                 for name, host in hosts.items()}
+    elif system == "peers":
+        nodes = build_peers_system(sim, network, names)
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    if connect and system != "central":
+        network.visibility.connect_clique(names)
+    return sim, network, nodes

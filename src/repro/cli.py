@@ -1,0 +1,158 @@
+"""Command-line interface: run the showcase scenarios without writing code.
+
+::
+
+    python -m repro.cli quickstart
+    python -m repro.cli demo --nodes 6 --duration 120 --seed 7
+    python -m repro.cli compare --systems tiamat,central --nodes 8
+    python -m repro.cli trace --seed 3
+
+Subcommands:
+
+``quickstart``
+    The two-instance walk-through (same content as ``examples/quickstart.py``).
+``demo``
+    An N-node churning cluster running the request/response workload,
+    reporting success rate and communication cost.
+``compare``
+    The T5-style comparison over any subset of the six systems.
+``trace``
+    A single distributed ``in`` with the full protocol timeline printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import RequestResponseWorkload
+from repro.bench import SYSTEMS, Table, build_system
+from repro.core import TiamatConfig, TiamatInstance
+from repro.net import ChurnInjector, Network, ProtocolTrace
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    """Run the quickstart narrative."""
+    sim = Simulator(seed=args.seed)
+    net = Network(sim)
+    a = TiamatInstance(sim, net, "alice")
+    b = TiamatInstance(sim, net, "bob")
+    net.visibility.set_visible("alice", "bob")
+    a.out(Tuple("note", "hello"))
+    op = b.in_(Pattern("note", str))
+    sim.run(until=10.0)
+    print(f"bob consumed {op.result} from {op.source} at t={sim.now:.3f}")
+    print(f"network: {net.stats.total_messages} frames, "
+          f"{net.stats.total_bytes} bytes")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run a churning Tiamat cluster under the standard workload."""
+    sim, network, nodes = build_system("tiamat", args.nodes, seed=args.seed,
+                                       config=TiamatConfig(
+                                           propagate_mode="continuous"))
+    churn = ChurnInjector(sim, network.visibility)
+    for name in sorted(nodes):
+        churn.auto_churn(name, mean_uptime=30.0, mean_downtime=5.0)
+    workload = RequestResponseWorkload(sim, nodes, sim.rng("cli"),
+                                       period=2.0, op_timeout=8.0)
+    workload.start(duration=args.duration)
+    sim.run(until=args.duration + 20.0)
+    stats = workload.stats
+    print(f"{args.nodes} nodes, {args.duration:.0f}s, churn 30s up / 5s down")
+    print(f"  produced:  {stats.produced}")
+    print(f"  consumed:  {stats.consumed}/{stats.consume_attempts} "
+          f"(success rate {stats.success_rate:.2f})")
+    print(f"  network:   {network.stats.total_messages} frames, "
+          f"{network.stats.total_bytes} bytes")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run the comparison workload over the selected systems."""
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    unknown = [s for s in systems if s not in SYSTEMS]
+    if unknown:
+        print(f"unknown systems: {unknown}; choose from {sorted(SYSTEMS)}",
+              file=sys.stderr)
+        return 2
+    table = Table(f"comparison at {args.nodes} nodes",
+                  ["system", "success", "frames/op", "stored/node"])
+    for system in systems:
+        sim, network, nodes = build_system(system, args.nodes, seed=args.seed)
+        sim.run(until=5.0)
+        workload = RequestResponseWorkload(sim, nodes, sim.rng("cli"),
+                                           period=3.0, op_timeout=8.0)
+        before = network.stats.total_messages
+        workload.start(duration=args.duration)
+        sim.run(until=5.0 + args.duration + 20.0)
+        stats = workload.stats
+        ops = max(1, stats.produced + stats.consume_attempts)
+        frames = network.stats.total_messages - before
+        stored = [n.stored_tuples() for n in nodes.values()]
+        table.add_row(system, stats.success_rate, frames / ops,
+                      sum(stored) / len(stored))
+    table.show()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Print the full protocol timeline of one distributed in()."""
+    sim = Simulator(seed=args.seed)
+    net = Network(sim)
+    a = TiamatInstance(sim, net, "a")
+    b = TiamatInstance(sim, net, "b")
+    c = TiamatInstance(sim, net, "c")
+    net.visibility.connect_clique(["a", "b", "c"])
+    trace = ProtocolTrace(net).attach()
+    b.out(Tuple("target", 1))
+    c.out(Tuple("target", 2))
+    op = a.in_(Pattern("target", int))
+    sim.run(until=10.0)
+    print(f"a consumed {op.result} from {op.source}\n")
+    print(trace.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tiamat reproduction scenarios")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="two-instance walk-through")
+
+    demo = sub.add_parser("demo", help="churning cluster workload")
+    demo.add_argument("--nodes", type=int, default=8)
+    demo.add_argument("--duration", type=float, default=60.0)
+
+    compare = sub.add_parser("compare", help="multi-system comparison")
+    compare.add_argument("--systems", default=",".join(SYSTEMS))
+    compare.add_argument("--nodes", type=int, default=8)
+    compare.add_argument("--duration", type=float, default=60.0)
+
+    sub.add_parser("trace", help="protocol timeline of one distributed in()")
+    return parser
+
+
+_COMMANDS = {
+    "quickstart": cmd_quickstart,
+    "demo": cmd_demo,
+    "compare": cmd_compare,
+    "trace": cmd_trace,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

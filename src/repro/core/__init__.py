@@ -1,0 +1,69 @@
+"""Tiamat proper: opportunistic logical tuple spaces with leased operations.
+
+This package is the paper's primary contribution.  Usage sketch::
+
+    from repro.core import TiamatInstance, TiamatConfig
+    from repro.net import Network
+    from repro.sim import Simulator
+    from repro.tuples import Pattern, Tuple
+
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    a = TiamatInstance(sim, net, "a")
+    b = TiamatInstance(sim, net, "b")
+    net.visibility.set_visible("a", "b")
+
+    a.out(Tuple("greeting", "hello"))
+
+    def reader(sim):
+        op = b.rd(Pattern("greeting", str))
+        tup = yield op.event           # -> Tuple('greeting', 'hello')
+        print(tup, "from", op.source)  # source == 'a'
+
+    sim.spawn(reader(sim))
+    sim.run()
+
+See :class:`~repro.core.instance.TiamatInstance` for the full API and
+:class:`~repro.core.config.TiamatConfig` for the ablation switches
+(propagation mode, comms strategy).
+"""
+
+from repro.core.config import TiamatConfig
+from repro.core.comms import CommsManager
+from repro.core.evaltask import EvalTask
+from repro.core.handles import SPACE_INFO_PATTERN, SPACE_INFO_TAG, SpaceHandle
+from repro.core.instance import TiamatInstance
+from repro.core.monitoring import (
+    AppMonitor,
+    ConflictResolver,
+    LeaseTuner,
+    RtsMonitor,
+)
+from repro.core.ops import Operation
+from repro.core.routing import (
+    RandomRelayRouter,
+    Router,
+    SocialRouter,
+    UnavailablePolicy,
+)
+from repro.core.serving import QueryServer
+
+__all__ = [
+    "AppMonitor",
+    "CommsManager",
+    "ConflictResolver",
+    "EvalTask",
+    "LeaseTuner",
+    "Operation",
+    "QueryServer",
+    "RtsMonitor",
+    "RandomRelayRouter",
+    "Router",
+    "SPACE_INFO_PATTERN",
+    "SPACE_INFO_TAG",
+    "SocialRouter",
+    "SpaceHandle",
+    "TiamatConfig",
+    "TiamatInstance",
+    "UnavailablePolicy",
+]

@@ -1,0 +1,87 @@
+"""Configuration for a Tiamat instance.
+
+The model leaves several behaviours open to the implementation; the config
+object pins each one explicitly so experiments can ablate them:
+
+``propagate_mode``
+    ``"start"`` reproduces the paper's prototype ("operations are only
+    propagated to instances which are visible at the beginning of the
+    operation"); ``"continuous"`` implements the full model (instances
+    becoming visible during the operation's lease are contacted too —
+    the paper's stated area of future work).
+
+``comms_strategy``
+    ``"mru"`` is the prototype's cached visibility list (section 3.1.3);
+    ``"multicast"`` performs a discovery multicast for every operation —
+    the naive alternative the paper argues against, kept for the T1
+    comparison bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.leasing import LeaseTerms, OperationKind
+
+
+def _default_lease_terms() -> dict:
+    return {
+        OperationKind.OUT: LeaseTerms(duration=120.0),
+        OperationKind.EVAL: LeaseTerms(duration=120.0),
+        OperationKind.IN: LeaseTerms(duration=30.0, max_remotes=32),
+        OperationKind.RD: LeaseTerms(duration=30.0, max_remotes=32),
+        OperationKind.INP: LeaseTerms(duration=2.0, max_remotes=8),
+        OperationKind.RDP: LeaseTerms(duration=2.0, max_remotes=8),
+    }
+
+
+@dataclass
+class TiamatConfig:
+    """Tunables for one Tiamat instance.
+
+    Attributes
+    ----------
+    propagate_mode:
+        ``"start"`` or ``"continuous"`` (see module docstring).
+    comms_strategy:
+        ``"mru"`` or ``"multicast"`` (see module docstring).
+    peer_timeout:
+        Seconds to wait for any response from a known-list peer before
+        declaring it unreachable and removing it from the list.
+    discover_window:
+        Seconds to collect ``DISCOVER_ACK`` responses after a multicast.
+    claim_timeout:
+        Seconds a serving instance holds an offered tuple awaiting
+        CLAIM_ACCEPT/REJECT before putting it back.
+    serve_max_duration:
+        Cap on the lease a serving instance grants itself for working on a
+        remote instance's operation.
+    default_lease_terms:
+        Per-operation default lease requests, used when the application
+        does not pass its own lease requester.
+    persistent_space:
+        Advertised in the space-info tuple (section 2.4): whether this
+        instance's local space claims a persistence mechanism.
+    relay_ttl:
+        Hop budget for routed (``RELAY_OUT``) tuples.
+    """
+
+    propagate_mode: str = "start"
+    comms_strategy: str = "mru"
+    peer_timeout: float = 0.5
+    discover_window: float = 0.1
+    claim_timeout: float = 2.0
+    serve_max_duration: float = 60.0
+    default_lease_terms: dict = field(default_factory=_default_lease_terms)
+    persistent_space: bool = False
+    relay_ttl: int = 3
+
+    def __post_init__(self) -> None:
+        if self.propagate_mode not in ("start", "continuous"):
+            raise ValueError(f"bad propagate_mode {self.propagate_mode!r}")
+        if self.comms_strategy not in ("mru", "multicast"):
+            raise ValueError(f"bad comms_strategy {self.comms_strategy!r}")
+
+    def default_terms(self, kind: OperationKind) -> LeaseTerms:
+        """The default lease request for an operation kind."""
+        return self.default_lease_terms[kind]

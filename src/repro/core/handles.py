@@ -1,0 +1,57 @@
+"""Space handles and space-info tuples (section 2.4).
+
+"Each tuple space in Tiamat contains a special tuple.  This tuple contains
+a handle on the space as well as some information about that space, e.g.,
+whether the local space provides a persistence mechanism or not.
+Applications can read these tuples and use the handles to perform
+operations on specific remote spaces."
+
+The info tuple's layout is ``(SPACE_INFO_TAG, <instance name>,
+<persistent: bool>)``.  A :class:`SpaceHandle` is the decoded, typed view
+of that tuple; it is accepted by the ``*_at`` operation variants on
+:class:`~repro.core.instance.TiamatInstance`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TupleError
+from repro.tuples import ANY, Formal, Pattern, Tuple
+
+#: First field of every space-info tuple.
+SPACE_INFO_TAG = "__space_info__"
+
+#: Pattern matching any space-info tuple in a logical space.
+SPACE_INFO_PATTERN = Pattern(SPACE_INFO_TAG, Formal(str), Formal(bool))
+
+
+class SpaceHandle:
+    """A handle on a (possibly remote) Tiamat instance's local space."""
+
+    __slots__ = ("instance_name", "persistent")
+
+    def __init__(self, instance_name: str, persistent: bool = False) -> None:
+        self.instance_name = instance_name
+        self.persistent = persistent
+
+    @classmethod
+    def from_tuple(cls, tup: Tuple) -> "SpaceHandle":
+        """Decode a handle from a space-info tuple."""
+        if (tup.arity != 3 or tup[0] != SPACE_INFO_TAG
+                or not isinstance(tup[1], str) or not isinstance(tup[2], bool)):
+            raise TupleError(f"{tup!r} is not a space-info tuple")
+        return cls(tup[1], tup[2])
+
+    def to_tuple(self) -> Tuple:
+        """Encode this handle as the space-info tuple."""
+        return Tuple(SPACE_INFO_TAG, self.instance_name, self.persistent)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SpaceHandle)
+                and other.instance_name == self.instance_name)
+
+    def __hash__(self) -> int:
+        return hash(("SpaceHandle", self.instance_name))
+
+    def __repr__(self) -> str:
+        flag = "persistent" if self.persistent else "volatile"
+        return f"SpaceHandle({self.instance_name!r}, {flag})"

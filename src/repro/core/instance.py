@@ -1,0 +1,432 @@
+"""The Tiamat instance: Figure 2 wired together.
+
+An instance owns the three components of the paper's architecture —
+
+* the **lease manager**, the first point of contact for every operation
+  (local or arriving from the network); a refused lease aborts the
+  operation before any other work happens;
+* the **local tuple space**, where all this instance's tuples live; and
+* the **communications manager**, which discovers peers, maintains the
+  known-peer list, propagates operations, and fields remote requests —
+
+and exposes the application API: the six Linda operations over the
+opportunistic logical tuple space, the ``*_at`` handle-directed variants,
+the reply-to-origin ``out_back``, and ``eval`` active tuples.
+
+All remote interaction is asynchronous: operations return
+:class:`~repro.core.ops.Operation` handles whose ``event`` a simulation
+process can ``yield``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.core import protocol
+from repro.core.comms import CommsManager
+from repro.core.config import TiamatConfig
+from repro.core.evaltask import EvalTask
+from repro.core.handles import SpaceHandle
+from repro.core.ops import Operation
+from repro.core.routing import RandomRelayRouter, Router, UnavailablePolicy
+from repro.core.serving import QueryServer
+from repro.errors import OperationAbandonedError
+from repro.leasing import (
+    LeaseManager,
+    LeaseRequester,
+    LeaseState,
+    OperationKind,
+    SimpleLeaseRequester,
+)
+from repro.leasing.policy import GrantPolicy
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.tuples import LocalTupleSpace, Pattern, Tuple
+from repro.tuples.serialization import decode_tuple, encode_tuple, encoded_size
+
+_rids = itertools.count(1)
+
+
+class TiamatInstance:
+    """One node's Tiamat middleware."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 policy: Optional[GrantPolicy] = None,
+                 config: Optional[TiamatConfig] = None,
+                 storage_capacity: Optional[int] = None,
+                 thread_capacity: Optional[int] = None,
+                 router: Optional[Router] = None,
+                 space: Optional[LocalTupleSpace] = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.config = config if config is not None else TiamatConfig()
+        self.leases = LeaseManager(sim, policy=policy,
+                                   storage_capacity=storage_capacity,
+                                   thread_capacity=thread_capacity)
+        # "The tuple space could be replaced with any system which
+        # implements the six standard Linda operations" (3.1.2): callers
+        # may supply their own (pre-populated or specialised) space.
+        self.space = space if space is not None else LocalTupleSpace(sim, name=name)
+        self.iface = network.attach(name, self._on_message)
+        self.comms = CommsManager(sim, self.iface, self.config)
+        self.server = QueryServer(self)
+        self.router = router if router is not None else RandomRelayRouter(
+            sim.rng(f"router/{name}"))
+        self._ops: dict[str, Operation] = {}
+        self._pending_remote_outs: dict[int, Event] = {}
+        self.neighbor_since: dict[str, float] = {}
+        self._unsubscribe_edges = network.visibility.on_edge_change(self._on_edge)
+        self.space.on_removed(self._on_tuple_removed)
+        # The special space-info tuple every Tiamat space contains (2.4).
+        self.space.out(self.handle().to_tuple())
+        # statistics
+        self.ops_started = 0
+        self.ops_satisfied_local = 0
+        self.ops_satisfied_remote = 0
+        self.ops_unsatisfied = 0
+        self.relays_forwarded = 0
+        self.relays_dropped = 0
+
+    # ==================================================================
+    # Application API: the six operations on the logical space
+    # ==================================================================
+    def out(self, tup: Tuple, requester: Optional[LeaseRequester] = None):
+        """Deposit a tuple in the local space under a negotiated lease.
+
+        Returns the stored entry.  Raises a lease error (and stores
+        nothing) when the lease manager refuses or the requester declines
+        the offer — "if a lease is refused, no further work is carried out
+        on the operation".
+        """
+        size = encoded_size(tup)
+        lease = self.leases.negotiate(self._requester(OperationKind.OUT, requester),
+                                      OperationKind.OUT, storage_needed=size)
+        entry = self.space.out(tup, expires_at=lease.expires_at,
+                               meta={"lease": lease, "owner": self.name})
+        lease.on_end(lambda l, state: self._on_out_lease_end(entry, state))
+        return entry
+
+    def eval(self, fn: Callable[..., Tuple], *args,
+             compute_time: float = 0.0,
+             requester: Optional[LeaseRequester] = None) -> EvalTask:
+        """Run an active tuple: compute ``fn(*args)`` then deposit its result.
+
+        The computation is charged against the eval lease; if the lease
+        ends first the computation is halted and nothing is deposited.
+        """
+        lease = self.leases.negotiate(self._requester(OperationKind.EVAL, requester),
+                                      OperationKind.EVAL)
+        return EvalTask(self, fn, args, compute_time, lease)
+
+    def rdp(self, pattern: Pattern,
+            requester: Optional[LeaseRequester] = None) -> Operation:
+        """Non-blocking read over the logical space (local, then peers)."""
+        return self._start_op(OperationKind.RDP, pattern, requester)
+
+    def inp(self, pattern: Pattern,
+            requester: Optional[LeaseRequester] = None) -> Operation:
+        """Non-blocking take over the logical space."""
+        return self._start_op(OperationKind.INP, pattern, requester)
+
+    def rd(self, pattern: Pattern,
+           requester: Optional[LeaseRequester] = None) -> Operation:
+        """Blocking read: waits (within the lease) for a match anywhere."""
+        return self._start_op(OperationKind.RD, pattern, requester)
+
+    def in_(self, pattern: Pattern,
+            requester: Optional[LeaseRequester] = None) -> Operation:
+        """Blocking take: exactly one tuple is consumed network-wide."""
+        return self._start_op(OperationKind.IN, pattern, requester)
+
+    # ==================================================================
+    # Handle-directed variants (section 2.4)
+    # ==================================================================
+    def handle(self) -> SpaceHandle:
+        """The handle on this instance's own space."""
+        return SpaceHandle(self.name, self.config.persistent_space)
+
+    def known_handles(self) -> list[SpaceHandle]:
+        """Handles this instance can name right now (itself + known peers)."""
+        return [self.handle()] + [SpaceHandle(p) for p in self.comms.plan()]
+
+    def out_at(self, handle: SpaceHandle, tup: Tuple,
+               duration: Optional[float] = None) -> Event:
+        """Deposit a tuple in a specific remote space.
+
+        The remote instance negotiates its own lease for the deposit (leases
+        are not transferable).  The returned event succeeds with True when
+        the remote acknowledged the deposit, False when it refused or could
+        not be reached within the peer timeout.
+        """
+        rid = next(_rids)
+        event = self.sim.event()
+        if handle.instance_name == self.name:
+            try:
+                self.out(tup)
+                event.succeed(True)
+            except Exception:
+                event.succeed(False)
+            return event
+        self._pending_remote_outs[rid] = event
+        sent = self.send(handle.instance_name, {
+            "kind": protocol.REMOTE_OUT,
+            "rid": rid,
+            "tuple": encode_tuple(tup),
+            "duration": duration,
+        })
+        if not sent:
+            self._pending_remote_outs.pop(rid, None)
+            event.succeed(False)
+            return event
+        self.sim.schedule(self.config.peer_timeout, self._remote_out_timeout, rid)
+        return event
+
+    def rdp_at(self, handle: SpaceHandle, pattern: Pattern,
+               requester: Optional[LeaseRequester] = None) -> Operation:
+        """Non-blocking read against one specific remote space."""
+        return self._start_op(OperationKind.RDP, pattern, requester,
+                              target=handle.instance_name)
+
+    def inp_at(self, handle: SpaceHandle, pattern: Pattern,
+               requester: Optional[LeaseRequester] = None) -> Operation:
+        """Non-blocking take against one specific remote space."""
+        return self._start_op(OperationKind.INP, pattern, requester,
+                              target=handle.instance_name)
+
+    def rd_at(self, handle: SpaceHandle, pattern: Pattern,
+              requester: Optional[LeaseRequester] = None) -> Operation:
+        """Blocking read against one specific remote space."""
+        return self._start_op(OperationKind.RD, pattern, requester,
+                              target=handle.instance_name)
+
+    def in_at(self, handle: SpaceHandle, pattern: Pattern,
+              requester: Optional[LeaseRequester] = None) -> Operation:
+        """Blocking take against one specific remote space."""
+        return self._start_op(OperationKind.IN, pattern, requester,
+                              target=handle.instance_name)
+
+    # ==================================================================
+    # Reply-to-origin out (section 2.4)
+    # ==================================================================
+    def out_back(self, source: str, tup: Tuple,
+                 policy: UnavailablePolicy = UnavailablePolicy.LOCAL,
+                 duration: Optional[float] = None) -> str:
+        """Deposit ``tup`` at the instance a prior result came from.
+
+        ``source`` is the :attr:`Operation.source` of the earlier ``in``/
+        ``rd``.  When the destination is not visible, ``policy`` decides:
+        fall back to the local space, hand the tuple to a relay, or abandon
+        (raising :class:`OperationAbandonedError`).  Returns how the tuple
+        left this instance: ``"remote"``, ``"local"``, or ``"routed"``.
+        """
+        if source == self.name:
+            self.out(tup)
+            return "local"
+        if self.iface.is_visible(source):
+            self.send(source, {
+                "kind": protocol.REMOTE_OUT,
+                "rid": next(_rids),
+                "tuple": encode_tuple(tup),
+                "duration": duration,
+            })
+            return "remote"
+        if policy is UnavailablePolicy.LOCAL:
+            self.out(tup)
+            return "local"
+        if policy is UnavailablePolicy.ABANDON:
+            raise OperationAbandonedError(
+                f"destination {source!r} unavailable and policy is abandon")
+        relay = self.router.choose_relay(self, source, exclude={self.name})
+        if relay is None:
+            self.out(tup)
+            return "local"
+        self.send(relay, {
+            "kind": protocol.RELAY_OUT,
+            "dst": source,
+            "tuple": encode_tuple(tup),
+            "duration": duration,
+            "ttl": self.config.relay_ttl,
+            "visited": [self.name],
+        })
+        return "routed"
+
+    # ==================================================================
+    # Internals: operation plumbing
+    # ==================================================================
+    def _start_op(self, kind: OperationKind, pattern: Pattern,
+                  requester: Optional[LeaseRequester],
+                  target: Optional[str] = None) -> Operation:
+        lease = self.leases.negotiate(self._requester(kind, requester), kind)
+        op = Operation(self, kind, pattern, lease)
+        if target is not None:
+            op.target = target
+        self._ops[op.op_id] = op
+        self.ops_started += 1
+        op.start()
+        return op
+
+    def _requester(self, kind: OperationKind,
+                   requester: Optional[LeaseRequester]) -> LeaseRequester:
+        if requester is not None:
+            return requester
+        return SimpleLeaseRequester(self.config.default_terms(kind))
+
+    def _operation_finished(self, op: Operation) -> None:
+        if op.result is None:
+            self.ops_unsatisfied += 1
+        elif op.source == self.name:
+            self.ops_satisfied_local += 1
+        else:
+            self.ops_satisfied_remote += 1
+        # Keep the record around briefly so late offers get clean rejects.
+        linger = self.config.claim_timeout + self.config.peer_timeout
+        self.sim.schedule(linger, self._ops.pop, op.op_id, None)
+
+    def _on_out_lease_end(self, entry, state: LeaseState) -> None:
+        if state is LeaseState.REVOKED and entry.visible:
+            # Last-resort reclamation: the tuple goes with the lease.
+            self.space.store.remove(entry.entry_id)
+            self.space._notify_removed(entry, "expired")
+
+    def _on_tuple_removed(self, entry, reason: str) -> None:
+        lease = entry.meta.get("lease")
+        if lease is not None and lease.active and reason == "consumed":
+            lease.release()
+
+    def deposit_eval_result(self, result: Tuple, lease) -> None:
+        """Deposit an eval computation's resultant tuple (same lease)."""
+        entry = self.space.out(result, expires_at=lease.expires_at,
+                               meta={"lease": lease, "owner": self.name})
+        lease.on_end(lambda l, state: self._on_out_lease_end(entry, state))
+
+    # ==================================================================
+    # Internals: network plumbing
+    # ==================================================================
+    def send(self, peer: str, payload: dict) -> bool:
+        """Unicast a protocol frame; False if the peer was not visible."""
+        return self.iface.unicast(peer, payload)
+
+    def _on_message(self, msg: Message) -> None:
+        kind = msg.kind
+        payload = msg.payload
+        src = msg.src
+        if kind == protocol.DISCOVER:
+            self.comms.note_alive(src)
+            self.send(src, {"kind": protocol.DISCOVER_ACK, "did": payload["did"]})
+        elif kind == protocol.DISCOVER_ACK:
+            self.comms.on_discover_ack(src, payload["did"])
+        elif kind == protocol.QUERY:
+            self.comms.note_alive(src)
+            self.server.handle_query(src, payload)
+        elif kind in (protocol.QUERY_REPLY, protocol.QUERY_REFUSED):
+            op = self._ops.get(payload["op_id"])
+            if op is not None:
+                op.deliver_reply(src, payload)
+            elif payload.get("found") and payload.get("entry_id") is not None:
+                # The operation is gone; put the held tuple back.
+                self.send(src, {"kind": protocol.CLAIM_REJECT,
+                                "op_id": payload["op_id"],
+                                "entry_id": payload["entry_id"]})
+        elif kind == protocol.CANCEL:
+            self.server.handle_cancel(src, payload)
+        elif kind == protocol.CLAIM_ACCEPT:
+            self.server.handle_claim_accept(src, payload)
+        elif kind == protocol.CLAIM_REJECT:
+            self.server.handle_claim_reject(src, payload)
+        elif kind == protocol.REMOTE_OUT:
+            self._handle_remote_out(src, payload)
+        elif kind == protocol.REMOTE_OUT_ACK:
+            event = self._pending_remote_outs.pop(payload["rid"], None)
+            if event is not None and not event.triggered:
+                event.succeed(payload["ok"])
+        elif kind == protocol.RELAY_OUT:
+            self._handle_relay_out(src, payload)
+
+    def _handle_remote_out(self, src: str, payload: dict) -> None:
+        tup = decode_tuple(payload["tuple"])
+        duration = payload.get("duration")
+        requester = (SimpleLeaseRequester(self.config.default_terms(OperationKind.OUT))
+                     if duration is None
+                     else SimpleLeaseRequester(
+                         self.config.default_terms(OperationKind.OUT).capped(
+                             duration=duration)))
+        try:
+            self.out(tup, requester=requester)
+            ok = True
+        except Exception:
+            ok = False
+        self.send(src, {"kind": protocol.REMOTE_OUT_ACK,
+                        "rid": payload["rid"], "ok": ok})
+
+    def _handle_relay_out(self, src: str, payload: dict) -> None:
+        dst = payload["dst"]
+        if self.iface.is_visible(dst):
+            self.relays_forwarded += 1
+            self.send(dst, {"kind": protocol.REMOTE_OUT, "rid": next(_rids),
+                            "tuple": payload["tuple"],
+                            "duration": payload.get("duration")})
+            return
+        ttl = payload.get("ttl", 0)
+        visited = set(payload.get("visited", []))
+        visited.add(self.name)
+        if ttl <= 0:
+            self.relays_dropped += 1
+            return
+        relay = self.router.choose_relay(self, dst, exclude=visited)
+        if relay is None:
+            self.relays_dropped += 1
+            return
+        self.relays_forwarded += 1
+        self.send(relay, {"kind": protocol.RELAY_OUT, "dst": dst,
+                          "tuple": payload["tuple"],
+                          "duration": payload.get("duration"),
+                          "ttl": ttl - 1,
+                          "visited": sorted(visited)})
+
+    def _remote_out_timeout(self, rid: int) -> None:
+        event = self._pending_remote_outs.pop(rid, None)
+        if event is not None and not event.triggered:
+            event.succeed(False)
+
+    def _on_edge(self, a: str, b: str, visible: bool) -> None:
+        if self.name not in (a, b):
+            return
+        peer = b if a == self.name else a
+        if visible:
+            self.neighbor_since[peer] = self.sim.now
+        else:
+            self.neighbor_since.pop(peer, None)
+
+    # ==================================================================
+    # Persistence (section 2.4: the advertised persistence mechanism)
+    # ==================================================================
+    def snapshot_space(self) -> dict:
+        """Snapshot the local space (visible tuples + remaining leases)."""
+        from repro.tuples.persistence import snapshot_space
+
+        return snapshot_space(self.space)
+
+    def restore_space(self, snapshot: dict) -> int:
+        """Restore a snapshot into the local space; returns the count.
+
+        Restored tuples carry their remaining lease time but are not
+        re-attached to lease-manager accounting (the leases that granted
+        them died with the previous incarnation); their expiry is enforced
+        by the space itself.
+        """
+        from repro.tuples.persistence import restore_space
+
+        return restore_space(self.space, snapshot)
+
+    # ==================================================================
+    def shutdown(self) -> None:
+        """Detach from the network (the local space survives in memory)."""
+        self._unsubscribe_edges()
+        self.network.detach(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TiamatInstance {self.name} tuples={self.space.count()}>"

@@ -1,0 +1,321 @@
+"""Origin-side operation engine: how an instance runs the six Linda ops
+over its opportunistic logical tuple space.
+
+An :class:`Operation` is the handle returned to the application.  Its
+``event`` succeeds with the matching :class:`~repro.tuples.Tuple` — or with
+``None`` if the operation's lease expired first (the model's deliberate
+semantic alteration for blocking operations, section 2.5).  ``source``
+records which instance supplied the tuple, enabling the reply-to-origin
+``out`` variant of section 2.4.
+
+Operation shapes:
+
+* **probes** (``rdp``/``inp``) sample the *current* logical space: the local
+  space first, then known peers contacted sequentially from the top of the
+  visibility list, then (if still unsatisfied) a discovery multicast and
+  the fresh responders — each contact gated on the lease's remote budget.
+* **blocking** (``rd``/``in``) register a local waiter *and* fan the query
+  out to peers, which register waiters of their own; the first match wins.
+  For destructive ``in`` the remote match is *held* and offered; the origin
+  accepts exactly one offer and rejects the rest, so exactly one tuple is
+  consumed network-wide.
+* In ``continuous`` propagation mode, instances that become visible during
+  the operation's lease are contacted as they appear.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core import protocol
+from repro.leasing import Lease, OperationKind
+from repro.sim.events import AnyOf, Event
+from repro.tuples import Pattern, Tuple, encode_pattern
+from repro.tuples.serialization import decode_tuple
+
+_op_seq = itertools.count(1)
+
+
+class Operation:
+    """A running (or finished) logical-tuple-space operation."""
+
+    def __init__(self, instance, kind: OperationKind, pattern: Optional[Pattern],
+                 lease: Lease) -> None:
+        self.instance = instance
+        self.kind = kind
+        self.pattern = pattern
+        self.lease = lease
+        self.op_id = f"{instance.name}#{next(_op_seq)}"
+        self.target: Optional[str] = None  # set for handle-directed variants
+        self.event: Event = instance.sim.event()
+        self.done = False
+        self.result: Optional[Tuple] = None
+        self.source: Optional[str] = None
+        self.contacted: list[str] = []
+        self._closed_peers: set[str] = set()
+        self._local_waiter = None
+        self._reply_events: dict[str, Event] = {}
+        self._unsubscribe_visibility = None
+        lease.on_end(self._on_lease_end)
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    @property
+    def satisfied(self) -> bool:
+        """True when the operation finished with a match."""
+        return self.done and self.result is not None
+
+    def cancel(self) -> None:
+        """Abort the operation (its event succeeds with None)."""
+        self._finalize(None, None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Kick off the operation (called by the instance)."""
+        if self.target is not None:
+            self._start_directed()
+        elif self.kind in (OperationKind.INP, OperationKind.RDP):
+            self.instance.sim.spawn(self._probe_process())
+        else:
+            self._start_blocking()
+
+    def _start_directed(self) -> None:
+        """Handle-directed variant: only the named remote space is used.
+
+        No local probe, no discovery, no fan-out — "perform the operation
+        requested on the remote space specified" (section 2.4).
+        """
+        if self.kind in (OperationKind.INP, OperationKind.RDP):
+            self.instance.sim.spawn(self._directed_probe_process())
+        else:
+            self._contact_blocking(self.target)
+            if self.target not in self.contacted:
+                # Not visible (or no remote budget): the operation cannot
+                # reach its designated space.
+                self._finalize(None, None)
+
+    def _directed_probe_process(self):
+        yield from self._probe_peers([self.target])
+        if not self.done:
+            self._finalize(None, None)
+
+    def _on_lease_end(self, lease, state) -> None:
+        # Fired for expiry and revocation; also for our own release in
+        # _finalize, which the `done` guard absorbs.
+        if not self.done:
+            self._finalize(None, None)
+
+    def _finalize(self, result: Optional[Tuple], source: Optional[str]) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.result = result
+        self.source = source
+        if self._local_waiter is not None:
+            self._local_waiter.cancel()
+            self._local_waiter = None
+        if self._unsubscribe_visibility is not None:
+            self._unsubscribe_visibility()
+            self._unsubscribe_visibility = None
+        # Withdraw the operation from every peer still working on it
+        # (peers that already answered have nothing ongoing to cancel).
+        for peer in self.contacted:
+            if peer != source and peer not in self._closed_peers:
+                self.instance.send(peer, {"kind": protocol.CANCEL, "op_id": self.op_id})
+        if self.lease.active:
+            self.lease.release()
+        self.event.succeed(result)
+        self.instance._operation_finished(self)
+
+    # ------------------------------------------------------------------
+    # Probe engine (rdp / inp)
+    # ------------------------------------------------------------------
+    def _probe_local(self) -> Optional[Tuple]:
+        space = self.instance.space
+        if self.kind is OperationKind.RDP:
+            return space.rdp(self.pattern)
+        return space.inp(self.pattern)
+
+    def _probe_process(self):
+        local = self._probe_local()
+        if local is not None:
+            self._finalize(local, self.instance.name)
+            return
+        comms = self.instance.comms
+        if self.instance.config.comms_strategy == "multicast":
+            yield comms.discover()
+            yield from self._probe_peers(comms.plan())
+        else:
+            yield from self._probe_peers(comms.plan())
+            if not self.done and self.lease.active:
+                fresh = yield comms.discover()
+                if not self.done:
+                    yield from self._probe_peers(fresh)
+        if not self.done:
+            self._finalize(None, None)
+
+    def _probe_peers(self, peers: list[str]):
+        """Contact peers one at a time, top of the list first."""
+        sim = self.instance.sim
+        for peer in peers:
+            if self.done or not self.lease.active:
+                return
+            if peer in self.contacted:
+                continue
+            if not self.lease.use_remote():
+                return
+            reply_event = sim.event()
+            self._reply_events[peer] = reply_event
+            if not self._send_query(peer):
+                self.lease.remotes_used -= 1  # a failed send is not a contact
+                self.instance.comms.note_dead(peer)
+                self._reply_events.pop(peer, None)
+                continue
+            self.contacted.append(peer)
+            timeout = sim.timeout(self.instance.config.peer_timeout)
+            outcome = yield AnyOf(sim, [reply_event, timeout])
+            timeout.cancel()
+            self._reply_events.pop(peer, None)
+            if self.done:
+                return
+            if reply_event not in outcome:
+                self.instance.comms.note_dead(peer)
+                continue
+            payload = reply_event.value
+            if payload.get("found"):
+                tup = decode_tuple(payload["tuple"])
+                if self.kind is OperationKind.INP:
+                    self.instance.send(peer, {
+                        "kind": protocol.CLAIM_ACCEPT,
+                        "op_id": self.op_id,
+                        "entry_id": payload["entry_id"],
+                    })
+                self._finalize(tup, peer)
+                return
+            # negative reply: peer is alive, move down the list
+
+    # ------------------------------------------------------------------
+    # Blocking engine (rd / in)
+    # ------------------------------------------------------------------
+    def _start_blocking(self) -> None:
+        space = self.instance.space
+        if self.kind is OperationKind.RD:
+            waiter = space.rd(self.pattern)
+        else:
+            waiter = space.in_(self.pattern)
+        if waiter.satisfied:
+            self._finalize(waiter.event.value, self.instance.name)
+            return
+        self._local_waiter = waiter
+        waiter.event.add_callback(self._on_local_match)
+        if self.instance.config.propagate_mode == "continuous":
+            self._unsubscribe_visibility = (
+                self.instance.network.visibility.on_edge_change(self._on_edge_change)
+            )
+        self.instance.sim.spawn(self._blocking_contact_process())
+
+    def _blocking_contact_process(self):
+        comms = self.instance.comms
+        plan = comms.plan()
+        if self.instance.config.comms_strategy == "multicast" or not plan:
+            yield comms.discover()
+            plan = comms.plan()
+        for peer in plan:
+            if self.done or not self.lease.active:
+                return
+            self._contact_blocking(peer)
+        if self.instance.config.comms_strategy != "mru":
+            return
+        # "If the end of the list is reached, and the request is not
+        # satisfied, then another multicast may be used to try and find
+        # more instances" (3.1.3).  Give the contacted peers one
+        # peer-timeout of grace before spending the multicast.
+        yield self.instance.sim.timeout(self.instance.config.peer_timeout)
+        if self.done or not self.lease.active:
+            return
+        yield comms.discover()
+        if self.done or not self.lease.active:
+            return
+        for peer in comms.plan():
+            if self.done:
+                return
+            self._contact_blocking(peer)
+
+    def _contact_blocking(self, peer: str) -> None:
+        if peer in self.contacted or peer == self.instance.name:
+            return
+        if not self.lease.use_remote():
+            return
+        if not self._send_query(peer):
+            self.lease.remotes_used -= 1
+            self.instance.comms.note_dead(peer)
+            return
+        self.contacted.append(peer)
+
+    def _on_local_match(self, event: Event) -> None:
+        self._local_waiter = None
+        self._finalize(event.value, self.instance.name)
+
+    def _on_edge_change(self, a: str, b: str, visible: bool) -> None:
+        """Continuous propagation: contact instances that become visible."""
+        if self.done or not visible:
+            return
+        me = self.instance.name
+        if me not in (a, b):
+            return
+        peer = b if a == me else a
+        self.instance.comms.note_alive(peer)
+        self._contact_blocking(peer)
+
+    # ------------------------------------------------------------------
+    # Message-driven callbacks (invoked by the instance dispatcher)
+    # ------------------------------------------------------------------
+    def deliver_reply(self, peer: str, payload: dict) -> None:
+        """A QUERY_REPLY / QUERY_REFUSED arrived for this operation."""
+        self.instance.comms.note_alive(peer)
+        self._closed_peers.add(peer)
+        pending = self._reply_events.get(peer)
+        if pending is not None and not pending.triggered:
+            # A probe is synchronously waiting on this peer.
+            pending.succeed(payload)
+            return
+        if payload.get("kind") == protocol.QUERY_REFUSED or not payload.get("found"):
+            return
+        # Unsolicited positive reply: a blocking operation's match (or a
+        # probe reply that arrived after its per-peer timeout).
+        entry_id = payload.get("entry_id")
+        if self.done:
+            if entry_id is not None:
+                self.instance.send(peer, {
+                    "kind": protocol.CLAIM_REJECT,
+                    "op_id": self.op_id,
+                    "entry_id": entry_id,
+                })
+            return
+        tup = decode_tuple(payload["tuple"])
+        if entry_id is not None:
+            self.instance.send(peer, {
+                "kind": protocol.CLAIM_ACCEPT,
+                "op_id": self.op_id,
+                "entry_id": entry_id,
+            })
+        self._finalize(tup, peer)
+
+    # ------------------------------------------------------------------
+    def _send_query(self, peer: str) -> bool:
+        remaining = self.lease.remaining_time(self.instance.sim.now)
+        return self.instance.send(peer, {
+            "kind": protocol.QUERY,
+            "op_id": self.op_id,
+            "op": self.kind.value,
+            "pattern": encode_pattern(self.pattern),
+            "deadline": remaining,
+        })
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "open"
+        return f"<Operation {self.op_id} {self.kind.value} {state}>"

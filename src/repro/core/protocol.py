@@ -1,0 +1,54 @@
+"""Wire protocol constants for the Tiamat inter-instance messages.
+
+Every frame payload is ``{"kind": <constant>, ...}``.  The protocol has
+four message families:
+
+discovery
+    ``DISCOVER`` (multicast) / ``DISCOVER_ACK`` — the paper's prototype
+    mechanism: "when an operation is performed the Tiamat instance involved
+    sends out a multicast packet.  Other instances which receive this
+    packet respond, informing the sender of the address and port number on
+    which they should be contacted" (section 3.1.3).
+
+operation propagation
+    ``QUERY`` carries an encoded antituple plus the operation kind and the
+    remaining lease time; ``QUERY_REPLY`` answers with a match (and, for
+    destructive operations, the held entry id), ``QUERY_REFUSED`` signals
+    the serving instance's lease manager refused to dedicate effort, and
+    ``CANCEL`` withdraws an operation (satisfied elsewhere or lease over).
+
+claim resolution
+    ``CLAIM_ACCEPT`` / ``CLAIM_REJECT`` implement first-responder-wins for
+    destructive matches: the origin accepts exactly one offer; every other
+    offering instance is told to put its tuple back.
+
+remote deposit
+    ``REMOTE_OUT`` / ``REMOTE_OUT_ACK`` are the handle-directed ``out``
+    (section 2.4); ``RELAY_OUT`` is the optional routing of a reply-bound
+    tuple through a third instance when the destination is not visible.
+"""
+
+from __future__ import annotations
+
+DISCOVER = "discover"
+DISCOVER_ACK = "discover_ack"
+
+QUERY = "query"
+QUERY_REPLY = "query_reply"
+QUERY_REFUSED = "query_refused"
+CANCEL = "cancel"
+
+CLAIM_ACCEPT = "claim_accept"
+CLAIM_REJECT = "claim_reject"
+
+REMOTE_OUT = "remote_out"
+REMOTE_OUT_ACK = "remote_out_ack"
+RELAY_OUT = "relay_out"
+
+#: Every kind, for validation and stats bucketing.
+ALL_KINDS = frozenset({
+    DISCOVER, DISCOVER_ACK,
+    QUERY, QUERY_REPLY, QUERY_REFUSED, CANCEL,
+    CLAIM_ACCEPT, CLAIM_REJECT,
+    REMOTE_OUT, REMOTE_OUT_ACK, RELAY_OUT,
+})

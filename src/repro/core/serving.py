@@ -1,0 +1,263 @@
+"""Serving side: how an instance works on *other* instances' operations.
+
+When a QUERY arrives, the receiving instance first negotiates an internal
+lease for the effort — "any Tiamat instance which, during the course of
+performing an operation, places demands on another, is responsible for
+negotiating any further leases" (section 2.5), and the lease manager is the
+first point of contact for *any* operation (Figure 2).  A refusal is
+reported back as QUERY_REFUSED and no work happens.
+
+Probe queries are answered from the local space immediately.  Blocking
+queries register a local watch that lives until a match, a CANCEL, or the
+serving lease's expiry.  Destructive matches are **held** (two-phase) and
+*offered* to the origin; the hold is resolved by CLAIM_ACCEPT (consume),
+CLAIM_REJECT (put back), or a claim timeout (put back — the origin
+evidently went away).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import protocol
+from repro.errors import LeaseError
+from repro.leasing import Lease, LeaseTerms, OperationKind, SimpleLeaseRequester
+from repro.tuples import Pattern, Tuple, decode_pattern, encode_tuple
+
+
+class Serving:
+    """State for one remote operation this instance is working on."""
+
+    __slots__ = ("op_id", "origin", "kind", "pattern", "lease", "waiter",
+                 "held_entry_id", "offered", "claim_timer", "closed",
+                 "thread_token")
+
+    def __init__(self, op_id: str, origin: str, kind: OperationKind,
+                 pattern: Pattern, lease: Lease, thread_token=None) -> None:
+        self.op_id = op_id
+        self.origin = origin
+        self.kind = kind
+        self.pattern = pattern
+        self.lease = lease
+        self.waiter = None
+        self.held_entry_id: Optional[int] = None
+        self.offered = False
+        self.claim_timer = None
+        self.closed = False
+        self.thread_token = thread_token
+
+
+class QueryServer:
+    """The instance-side machinery for answering remote queries."""
+
+    def __init__(self, instance) -> None:
+        self.instance = instance
+        self._servings: dict[str, Serving] = {}
+        # statistics
+        self.served = 0
+        self.refused = 0
+        self.offers_made = 0
+        self.offers_won = 0
+        self.offers_put_back = 0
+
+    # ------------------------------------------------------------------
+    # Query arrival
+    # ------------------------------------------------------------------
+    def handle_query(self, origin: str, payload: dict) -> None:
+        """Entry point for a QUERY frame."""
+        op_id = payload["op_id"]
+        kind = OperationKind(payload["op"])
+        pattern = decode_pattern(payload["pattern"])
+        deadline = payload.get("deadline")
+        lease = self._negotiate_serving_lease(kind, deadline)
+        if lease is None:
+            self.refused += 1
+            self.instance.send(origin, {
+                "kind": protocol.QUERY_REFUSED, "op_id": op_id, "found": False,
+            })
+            return
+        # Serving consumes a worker thread, allocated through the lease
+        # manager's factory (3.1.1); an exhausted pool refuses the work.
+        thread_token = self.instance.leases.threads.acquire()
+        if thread_token is None:
+            lease.release()
+            self.refused += 1
+            self.instance.send(origin, {
+                "kind": protocol.QUERY_REFUSED, "op_id": op_id, "found": False,
+            })
+            return
+        self.served += 1
+        if kind in (OperationKind.RDP, OperationKind.INP):
+            self._serve_probe(origin, op_id, kind, pattern, lease, thread_token)
+        else:
+            self._serve_blocking(origin, op_id, kind, pattern, lease,
+                                 thread_token)
+
+    def _negotiate_serving_lease(self, kind: OperationKind,
+                                 deadline: Optional[float]) -> Optional[Lease]:
+        duration = self.instance.config.serve_max_duration
+        if deadline is not None:
+            duration = min(duration, max(0.0, deadline))
+        requester = SimpleLeaseRequester(LeaseTerms(duration=duration))
+        try:
+            return self.instance.leases.negotiate(requester, kind)
+        except LeaseError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Probes: answer from the current local space
+    # ------------------------------------------------------------------
+    def _serve_probe(self, origin: str, op_id: str, kind: OperationKind,
+                     pattern: Pattern, lease: Lease, thread_token) -> None:
+        space = self.instance.space
+        if kind is OperationKind.RDP:
+            tup = space.rdp(pattern)
+            self._reply(origin, op_id, tup)
+            lease.release()
+            thread_token.release()
+            return
+        entry = space.hold_match(pattern)
+        if entry is None:
+            self._reply(origin, op_id, None)
+            lease.release()
+            thread_token.release()
+            return
+        serving = Serving(op_id, origin, kind, pattern, lease,
+                          thread_token=thread_token)
+        serving.held_entry_id = entry.entry_id
+        self._servings[op_id] = serving
+        self._offer(serving, entry.tuple)
+
+    # ------------------------------------------------------------------
+    # Blocking: watch the local space until match / cancel / lease end
+    # ------------------------------------------------------------------
+    def _serve_blocking(self, origin: str, op_id: str, kind: OperationKind,
+                        pattern: Pattern, lease: Lease, thread_token) -> None:
+        serving = Serving(op_id, origin, kind, pattern, lease,
+                          thread_token=thread_token)
+        self._servings[op_id] = serving
+        lease.on_end(lambda l, state: self._on_serving_lease_end(serving))
+        self._register_watch(serving)
+
+    def _register_watch(self, serving: Serving) -> None:
+        if serving.closed:
+            return
+        # A non-destructive waiter notifies us of a match without consuming
+        # it; for `in` we then try to hold the concrete entry ourselves.
+        waiter = self.instance.space.rd(serving.pattern)
+        serving.waiter = waiter
+        if waiter.satisfied:
+            self._on_watch_match(serving, waiter.event.value)
+        else:
+            waiter.event.add_callback(
+                lambda event: self._on_watch_match(serving, event.value))
+
+    def _on_watch_match(self, serving: Serving, tup: Tuple) -> None:
+        if serving.closed or not serving.lease.active:
+            return
+        serving.waiter = None
+        if serving.kind is OperationKind.RD:
+            self._reply(serving.origin, serving.op_id, tup)
+            self._close(serving)
+            return
+        entry = self.instance.space.hold_match(serving.pattern)
+        if entry is None:
+            # Someone consumed it between notification and hold; keep watching.
+            self._register_watch(serving)
+            return
+        serving.held_entry_id = entry.entry_id
+        self._offer(serving, entry.tuple)
+
+    # ------------------------------------------------------------------
+    # Offers and claims (destructive two-phase)
+    # ------------------------------------------------------------------
+    def _offer(self, serving: Serving, tup: Tuple) -> None:
+        serving.offered = True
+        self.offers_made += 1
+        self._reply(serving.origin, serving.op_id, tup,
+                    entry_id=serving.held_entry_id)
+        serving.claim_timer = self.instance.sim.schedule(
+            self.instance.config.claim_timeout, self._claim_timeout, serving)
+
+    def handle_claim_accept(self, origin: str, payload: dict) -> None:
+        """Origin took our offer: the held tuple is consumed for good."""
+        serving = self._servings.get(payload["op_id"])
+        if serving is None or serving.held_entry_id != payload.get("entry_id"):
+            return
+        self.offers_won += 1
+        self.instance.space.confirm(serving.held_entry_id)
+        serving.held_entry_id = None
+        self._close(serving)
+
+    def handle_claim_reject(self, origin: str, payload: dict) -> None:
+        """Origin took a different offer: put the tuple back (section 3.1.3)."""
+        serving = self._servings.get(payload["op_id"])
+        if serving is None or serving.held_entry_id != payload.get("entry_id"):
+            return
+        self._put_back(serving)
+        self._close(serving)
+
+    def _claim_timeout(self, serving: Serving) -> None:
+        """No accept/reject arrived: the origin is gone; put the tuple back."""
+        if serving.closed or serving.held_entry_id is None:
+            return
+        self._put_back(serving)
+        self._close(serving)
+
+    def _put_back(self, serving: Serving) -> None:
+        if serving.held_entry_id is not None:
+            self.offers_put_back += 1
+            self.instance.space.release(serving.held_entry_id)
+            serving.held_entry_id = None
+
+    # ------------------------------------------------------------------
+    # Cancellation and lease end
+    # ------------------------------------------------------------------
+    def handle_cancel(self, origin: str, payload: dict) -> None:
+        """Origin withdrew the operation."""
+        serving = self._servings.get(payload["op_id"])
+        if serving is None:
+            return
+        self._put_back(serving)
+        self._close(serving)
+
+    def _on_serving_lease_end(self, serving: Serving) -> None:
+        if serving.closed:
+            return
+        if serving.offered and serving.held_entry_id is not None:
+            # An offer is outstanding: leave resolution to the claim timer.
+            return
+        self._close(serving)
+
+    # ------------------------------------------------------------------
+    def _close(self, serving: Serving) -> None:
+        if serving.closed:
+            return
+        serving.closed = True
+        if serving.waiter is not None:
+            serving.waiter.cancel()
+            serving.waiter = None
+        if serving.claim_timer is not None:
+            serving.claim_timer.cancel()
+            serving.claim_timer = None
+        if serving.lease.active:
+            serving.lease.release()
+        if serving.thread_token is not None:
+            serving.thread_token.release()
+            serving.thread_token = None
+        self._servings.pop(serving.op_id, None)
+
+    def _reply(self, origin: str, op_id: str, tup: Optional[Tuple],
+               entry_id: Optional[int] = None) -> None:
+        payload = {"kind": protocol.QUERY_REPLY, "op_id": op_id,
+                   "found": tup is not None}
+        if tup is not None:
+            payload["tuple"] = encode_tuple(tup)
+        if entry_id is not None:
+            payload["entry_id"] = entry_id
+        self.instance.send(origin, payload)
+
+    @property
+    def active_servings(self) -> int:
+        """Number of remote operations currently being worked on."""
+        return len(self._servings)

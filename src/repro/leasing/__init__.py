@@ -1,0 +1,61 @@
+"""The Tiamat leasing model: every operation is leased.
+
+Section 2.5 of the paper defines a leasing discipline that goes beyond the
+usual "tuples expire" found in JavaSpaces-style systems:
+
+* **Every operation** — ``out``, ``eval``, ``in``, ``inp``, ``rd``, ``rdp``
+  — must first negotiate a lease with the local instance; a refused lease
+  means no work at all is done for the operation.
+* Leases may be denominated in **time** and in **other resources**: the
+  number of remote instances contacted, and bytes of storage occupied.
+* Leases are **best-effort**, **non-transferable** across instances, and
+  **revocable** as a last resort.
+* Expiry semantics per operation: an expired out-tuple may be reclaimed at
+  any time; an expired blocking ``in``/``rd`` stops waiting and returns
+  nothing (the paper's deliberate "slight semantic alteration" that bounds
+  resource consumption).
+
+The negotiation protocol follows section 3.1.1: the application passes a
+**lease requester** object along with its operation; the requester asks the
+**lease manager** for terms, the manager makes an offer (or refuses), and
+the requester accepts or rejects the offer.
+
+Resources that an instance wishes to manage are allocated through **factory
+objects** controlled by the lease manager (:mod:`repro.leasing.resources`),
+so the manager always knows the instance's current commitment when deciding
+what to offer.
+"""
+
+from repro.leasing.lease import Lease, LeaseState, LeaseTerms
+from repro.leasing.requester import (
+    AcceptAnythingRequester,
+    LeaseRequester,
+    SimpleLeaseRequester,
+)
+from repro.leasing.policy import (
+    AdaptivePolicy,
+    ConservativePolicy,
+    DenyAllPolicy,
+    GenerousPolicy,
+    GrantPolicy,
+)
+from repro.leasing.resources import ResourceFactory, ResourceToken
+from repro.leasing.manager import LeaseManager, OperationKind
+
+__all__ = [
+    "AcceptAnythingRequester",
+    "AdaptivePolicy",
+    "ConservativePolicy",
+    "DenyAllPolicy",
+    "GenerousPolicy",
+    "GrantPolicy",
+    "Lease",
+    "LeaseManager",
+    "LeaseRequester",
+    "LeaseState",
+    "LeaseTerms",
+    "OperationKind",
+    "ResourceFactory",
+    "ResourceToken",
+    "SimpleLeaseRequester",
+]

@@ -1,0 +1,208 @@
+"""The lease manager: first point of contact for every operation.
+
+Figure 2 of the paper places the lease manager in front of everything: "the
+lease manager deals with all of the resource management within the system
+and is the first point of contact for any operation.  If a lease is
+refused, no further work is carried out on the operation."
+
+The manager here owns:
+
+* the negotiation loop with the application's lease requester;
+* the granting policy (pluggable, see :mod:`repro.leasing.policy`);
+* storage accounting — storage-bearing leases (``out``/``eval``) commit
+  bytes against the instance's capacity until they end;
+* the resource factories ("threads", "sockets") other components allocate
+  through;
+* expiry timers and last-resort revocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import LeaseRefusedError, LeaseRejectedByRequesterError
+from repro.leasing.lease import Lease, LeaseState, LeaseTerms
+from repro.leasing.policy import GrantPolicy, GenerousPolicy, UsageSnapshot
+from repro.leasing.requester import LeaseRequester
+from repro.leasing.resources import ResourceFactory
+from repro.sim.kernel import Simulator
+
+
+class OperationKind(enum.Enum):
+    """The six Linda operations, as lease subjects."""
+
+    OUT = "out"
+    EVAL = "eval"
+    IN = "in"
+    INP = "inp"
+    RD = "rd"
+    RDP = "rdp"
+
+    @property
+    def is_deposit(self) -> bool:
+        """Whether this operation stores a tuple (consumes storage budget)."""
+        return self in (OperationKind.OUT, OperationKind.EVAL)
+
+    @property
+    def is_blocking(self) -> bool:
+        """Whether this operation may wait for a match."""
+        return self in (OperationKind.IN, OperationKind.RD)
+
+
+class LeaseManager:
+    """Per-instance lease negotiation, accounting, and revocation."""
+
+    def __init__(self, sim: Simulator, policy: Optional[GrantPolicy] = None,
+                 storage_capacity: Optional[int] = None,
+                 thread_capacity: Optional[int] = None,
+                 socket_capacity: Optional[int] = None) -> None:
+        self.sim = sim
+        self.policy = policy if policy is not None else GenerousPolicy()
+        self.storage_capacity = storage_capacity
+        self.storage_used = 0
+        self.threads = ResourceFactory("threads", thread_capacity)
+        self.sockets = ResourceFactory("sockets", socket_capacity)
+        self.active: dict[int, Lease] = {}
+        # statistics
+        self.grants = 0
+        self.refusals = 0
+        self.requester_rejections = 0
+        self.expirations = 0
+        self.revocations = 0
+
+    # ------------------------------------------------------------------
+    # Negotiation
+    # ------------------------------------------------------------------
+    def negotiate(self, requester: LeaseRequester, operation: OperationKind,
+                  storage_needed: int = 0) -> Lease:
+        """Run the request/offer/accept protocol; returns a granted lease.
+
+        ``storage_needed`` is the deposit size for ``out``/``eval`` (the
+        codec size of the tuple); it is folded into the requested terms so
+        the policy sees the true storage demand.
+
+        Raises :class:`LeaseRefusedError` when the policy refuses and
+        :class:`LeaseRejectedByRequesterError` when the requester declines
+        the offer.  Either way, per the model, the caller must do no
+        further work on the operation.
+        """
+        requested = requester.desired()
+        if operation.is_deposit and storage_needed:
+            wanted = requested.storage_bytes
+            if wanted is None or wanted < storage_needed:
+                requested = LeaseTerms(requested.duration, requested.max_remotes,
+                                       storage_needed)
+        offer = self.policy.offer(requested, operation.value, self._usage())
+        if offer is None:
+            self.refusals += 1
+            raise LeaseRefusedError(
+                f"lease refused for {operation.value} (storage_needed={storage_needed})"
+            )
+        if operation.is_deposit and storage_needed:
+            granted_storage = offer.storage_bytes
+            if granted_storage is not None and granted_storage < storage_needed:
+                self.refusals += 1
+                raise LeaseRefusedError(
+                    f"offered storage {granted_storage}B < needed {storage_needed}B"
+                )
+            if not self._storage_fits(storage_needed):
+                self.refusals += 1
+                raise LeaseRefusedError(
+                    f"storage capacity exceeded ({self.storage_used}+"
+                    f"{storage_needed}>{self.storage_capacity})"
+                )
+        if not requester.consider(offer):
+            self.requester_rejections += 1
+            raise LeaseRejectedByRequesterError(
+                f"requester declined offer {offer!r} for {operation.value}"
+            )
+        return self._grant(offer, operation, storage_needed)
+
+    # ------------------------------------------------------------------
+    # Revocation (last resort)
+    # ------------------------------------------------------------------
+    def revoke(self, lease: Lease, reason: str = "") -> None:
+        """Forcibly end a lease; holders learn via their ``on_end`` hook.
+
+        "This behaviour should only be employed as a last resort to avoid
+        undermining the leasing system altogether" — the manager provides
+        the mechanism; deciding when is the caller's (policy's) burden.
+        """
+        if not lease.active:
+            return
+        self.revocations += 1
+        lease._end(LeaseState.REVOKED)
+
+    def revoke_storage_pressure(self, target_bytes: int) -> list[Lease]:
+        """Revoke oldest storage-bearing leases until usage <= target.
+
+        Returns the leases revoked.  Used by the T4 bench to demonstrate
+        last-resort reclamation under storage pressure.
+        """
+        revoked = []
+        for lease in sorted(self.active.values(), key=lambda l: l.lease_id):
+            if self.storage_used <= target_bytes:
+                break
+            if lease.terms.storage_bytes:
+                revoked.append(lease)
+                self.revoke(lease, reason="storage pressure")
+        return revoked
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        """Number of currently active leases."""
+        return len(self.active)
+
+    def usage(self) -> UsageSnapshot:
+        """A snapshot of current commitment (what policies see)."""
+        return self._usage()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _grant(self, terms: LeaseTerms, operation: OperationKind,
+               storage_needed: int) -> Lease:
+        lease = Lease(self, terms, self.sim.now, operation.value)
+        self.active[lease.lease_id] = lease
+        self.grants += 1
+        committed = storage_needed if operation.is_deposit else 0
+        if committed:
+            self.storage_used += committed
+        lease.on_end(lambda l, state: self._on_lease_end(l, state, committed))
+        if lease.expires_at is not None:
+            self.sim.schedule_at(lease.expires_at, self._expire, lease.lease_id)
+        return lease
+
+    def _on_lease_end(self, lease: Lease, state: LeaseState, committed: int) -> None:
+        self.active.pop(lease.lease_id, None)
+        if committed:
+            self.storage_used -= committed
+
+    def _expire(self, lease_id: int) -> None:
+        lease = self.active.get(lease_id)
+        if lease is None or not lease.active:
+            return
+        if lease.expires_at is not None and self.sim.now >= lease.expires_at:
+            self.expirations += 1
+            lease._end(LeaseState.EXPIRED)
+
+    def _storage_fits(self, needed: int) -> bool:
+        if self.storage_capacity is None:
+            return True
+        return self.storage_used + needed <= self.storage_capacity
+
+    def _usage(self) -> UsageSnapshot:
+        return UsageSnapshot(
+            storage_used=self.storage_used,
+            storage_capacity=self.storage_capacity,
+            active_leases=len(self.active),
+            thread_utilisation=self.threads.utilisation,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LeaseManager active={len(self.active)} "
+                f"storage={self.storage_used}/{self.storage_capacity}>")

@@ -1,0 +1,70 @@
+"""Lease requesters: the application's side of the negotiation.
+
+Section 3.1.1: "The leasing of operations is performed by applications
+passing lease requester objects to the system along with their tuples.
+These lease requester objects have the task of negotiating with the lease
+manager inside Tiamat.  Firstly, a lease requester makes a request to the
+lease manager.  The lease manager then informs the lease requester of what
+lease it is willing to offer.  If the lease requester refuses this lease,
+then the operation fails."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.leasing.lease import LeaseTerms
+
+
+class LeaseRequester:
+    """Protocol for negotiating a lease on the application's behalf.
+
+    Subclass (or duck-type) with two methods: :meth:`desired` states what
+    the application wants; :meth:`consider` decides whether the manager's
+    counter-offer is acceptable.
+    """
+
+    def desired(self) -> LeaseTerms:  # pragma: no cover - abstract
+        """The terms the application would like."""
+        raise NotImplementedError
+
+    def consider(self, offer: LeaseTerms) -> bool:  # pragma: no cover - abstract
+        """Accept (True) or refuse (False) the manager's offer."""
+        raise NotImplementedError
+
+
+class SimpleLeaseRequester(LeaseRequester):
+    """Ask for ``desired`` terms; accept any offer satisfying ``minimum``.
+
+    With no ``minimum`` given, any offer is acceptable — the common case
+    for applications that just want the system's best effort.
+    """
+
+    def __init__(self, desired: LeaseTerms, minimum: Optional[LeaseTerms] = None) -> None:
+        self._desired = desired
+        self._minimum = minimum
+
+    def desired(self) -> LeaseTerms:
+        return self._desired
+
+    def consider(self, offer: LeaseTerms) -> bool:
+        if self._minimum is None:
+            return True
+        return offer.satisfies(self._minimum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimpleLeaseRequester({self._desired!r}, minimum={self._minimum!r})"
+
+
+class AcceptAnythingRequester(LeaseRequester):
+    """The laissez-faire requester: unbounded desires, accepts any offer.
+
+    Useful as a default for examples and for modelling applications that
+    delegate resource decisions entirely to the infrastructure.
+    """
+
+    def desired(self) -> LeaseTerms:
+        return LeaseTerms()
+
+    def consider(self, offer: LeaseTerms) -> bool:
+        return True

@@ -1,0 +1,46 @@
+"""Network frames.
+
+A :class:`Message` is what the simulated network moves between nodes: a
+source, a destination (``None`` marks a multicast), and a JSON-representable
+payload dict.  The payload convention throughout the repository is
+``{"kind": <str>, ...}`` — each protocol (Tiamat, Limbo, LIME, ...) defines
+its own kinds.  Size is computed once from the encoded payload and used for
+both latency (per-byte transmission delay) and byte accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.tuples.serialization import encoded_size
+
+_ids = itertools.count(1)
+
+
+class Message:
+    """A frame in flight (or delivered) on the simulated network."""
+
+    __slots__ = ("msg_id", "src", "dst", "payload", "size", "sent_at")
+
+    def __init__(self, src: str, dst: Optional[str], payload: dict, sent_at: float) -> None:
+        self.msg_id = next(_ids)
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = encoded_size(payload)
+        self.sent_at = sent_at
+
+    @property
+    def kind(self) -> str:
+        """The protocol message kind (payload ``"kind"`` key)."""
+        return self.payload.get("kind", "?")
+
+    @property
+    def is_multicast(self) -> bool:
+        """True for frames addressed to every visible neighbour."""
+        return self.dst is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = "*" if self.dst is None else self.dst
+        return f"<Message #{self.msg_id} {self.src}->{target} {self.kind} {self.size}B>"

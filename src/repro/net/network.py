@@ -1,0 +1,170 @@
+"""Message delivery over the visibility graph.
+
+The network is deliberately simple — the phenomena the paper cares about
+(devices coming and going, operations racing visibility changes) come from
+the dynamics of the :class:`~repro.net.visibility.VisibilityGraph`, not from
+an elaborate radio model:
+
+* **unicast** delivers to a named node iff the two are mutually visible at
+  *send* time, after a latency drawn from the latency model and subject to
+  probabilistic loss;
+* **multicast** delivers an independent copy to each currently visible
+  neighbour (the discovery primitive of the paper's prototype);
+* visibility is *not* re-checked at delivery time: a frame already in
+  flight arrives even if the nodes separate mid-flight, matching the
+  behaviour of real radios at these timescales.  Frames addressed to a node
+  that is *down* at delivery time are dropped.
+
+Handlers attached via :meth:`Network.attach` are invoked with the delivered
+:class:`~repro.net.message.Message`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import UnknownNodeError
+from repro.net.message import Message
+from repro.net.stats import NetworkStats
+from repro.net.visibility import VisibilityGraph
+from repro.sim.kernel import Simulator
+
+Handler = Callable[[Message], None]
+LatencyModel = Callable[[str, str, int], float]
+
+
+def default_latency(base: float = 0.002, per_byte: float = 2e-7,
+                    jitter: float = 0.3) -> Callable[["Network"], LatencyModel]:
+    """A latency model factory: base + size*per_byte, with multiplicative jitter.
+
+    Defaults approximate a local wireless hop (about 2 ms plus bandwidth
+    delay).  The returned factory binds the network's RNG stream so jitter
+    is reproducible.
+    """
+
+    def bind(network: "Network") -> LatencyModel:
+        rng = network.sim.rng("net/latency")
+
+        def model(src: str, dst: str, size: int) -> float:
+            scale = 1.0 + jitter * rng.random()
+            return (base + size * per_byte) * scale
+
+        return model
+
+    return bind
+
+
+class NetworkInterface:
+    """A node's handle on the network: send primitives bound to its name."""
+
+    __slots__ = ("network", "name")
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.name = name
+
+    def unicast(self, dst: str, payload: dict) -> bool:
+        """Send to a specific node; False if it was not visible at send time."""
+        return self.network.unicast(self.name, dst, payload)
+
+    def multicast(self, payload: dict) -> int:
+        """Send to every visible neighbour; returns the copy count."""
+        return self.network.multicast(self.name, payload)
+
+    def neighbors(self) -> list[str]:
+        """Nodes currently visible from this one."""
+        return self.network.visibility.neighbors(self.name)
+
+    def is_visible(self, other: str) -> bool:
+        """Whether ``other`` is currently reachable in one hop."""
+        return self.network.visibility.visible(self.name, other)
+
+
+class Network:
+    """The simulated datagram network over a visibility graph."""
+
+    def __init__(self, sim: Simulator, visibility: Optional[VisibilityGraph] = None,
+                 loss_rate: float = 0.0,
+                 latency_factory: Optional[Callable[["Network"], LatencyModel]] = None) -> None:
+        self.sim = sim
+        self.visibility = visibility if visibility is not None else VisibilityGraph()
+        self.loss_rate = loss_rate
+        self.stats = NetworkStats()
+        self._handlers: dict[str, Handler] = {}
+        self._loss_rng = sim.rng("net/loss")
+        factory = latency_factory if latency_factory is not None else default_latency()
+        self._latency: LatencyModel = factory(self)
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, name: str, handler: Handler) -> NetworkInterface:
+        """Register a node and its delivery handler; returns its interface."""
+        if name in self._handlers:
+            raise UnknownNodeError(f"node {name!r} already attached")
+        self._handlers[name] = handler
+        self.visibility.add_node(name)
+        return NetworkInterface(self, name)
+
+    def detach(self, name: str) -> None:
+        """Remove a node entirely (edges cleared, frames to it dropped)."""
+        self._handlers.pop(name, None)
+        self.visibility.isolate(name)
+        self.visibility.set_up(name, False)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def unicast(self, src: str, dst: str, payload: dict) -> bool:
+        """Deliver ``payload`` from src to dst if visible; True if dispatched."""
+        self._require(src)
+        message = Message(src, dst, payload, self.sim.now)
+        if not self.visibility.visible(src, dst):
+            self.stats.record_drop(src, invisible=True)
+            return False
+        if self._lost():
+            self.stats.record_send(src, message.size, multicast=False, kind=message.kind)
+            self.stats.record_drop(src, invisible=False)
+            return True  # dispatched, silently lost in flight
+        self.stats.record_send(src, message.size, multicast=False, kind=message.kind)
+        delay = self._latency(src, dst, message.size)
+        self.sim.schedule(delay, self._deliver, message)
+        return True
+
+    def multicast(self, src: str, payload: dict) -> int:
+        """Deliver a copy of ``payload`` to each visible neighbour of src."""
+        self._require(src)
+        neighbors = self.visibility.neighbors(src)
+        probe = Message(src, None, payload, self.sim.now)
+        self.stats.record_send(src, probe.size, multicast=True, kind=probe.kind)
+        delivered = 0
+        for dst in neighbors:
+            if self._lost():
+                self.stats.record_drop(src, invisible=False)
+                continue
+            copy = Message(src, dst, payload, self.sim.now)
+            delay = self._latency(src, dst, copy.size)
+            self.sim.schedule(delay, self._deliver, copy)
+            delivered += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is None or not self.visibility.is_up(message.dst):
+            self.stats.record_drop(message.src, invisible=True)
+            return
+        self.stats.record_receive(message.dst, message.size)
+        handler(message)
+
+    def _lost(self) -> bool:
+        return self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate
+
+    def _require(self, name: str) -> None:
+        if name not in self._handlers:
+            raise UnknownNodeError(f"node {name!r} is not attached to this network")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Network nodes={len(self._handlers)} loss={self.loss_rate}>"

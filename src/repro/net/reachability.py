@@ -1,0 +1,106 @@
+"""Multi-hop visibility: "routed through other instances".
+
+Section 2.2 leaves the implementation of visibility open: "the exact means
+of this communication may be implemented in different ways, e.g., through
+direct communication only, or routed through other instances".  The rest
+of the repository defaults to direct (1-hop) visibility; this driver
+implements the routed variant: two nodes are *visible* when a physical
+path of at most ``max_hops`` radio links connects them.
+
+The driver keeps a private *physical* adjacency (fed by a mobility model
+exactly like :class:`~repro.net.mobility.RangeVisibilityDriver`) and
+publishes the k-hop closure into the shared
+:class:`~repro.net.visibility.VisibilityGraph` that the middleware
+observes.  Latency for the logical edges remains the network's per-frame
+model; multi-hop forwarding cost can be approximated by a larger per-byte
+latency if an experiment needs it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.net.mobility import MobilityModel
+from repro.net.visibility import VisibilityGraph
+from repro.sim.kernel import Simulator
+
+
+class MultiHopVisibilityDriver:
+    """Publishes k-hop reachability over radio links as visibility."""
+
+    def __init__(self, sim: Simulator, graph: VisibilityGraph,
+                 model: MobilityModel, radio_range: float,
+                 max_hops: int = 2, tick: float = 1.0) -> None:
+        if max_hops < 1:
+            raise ValueError("max_hops must be at least 1")
+        self.sim = sim
+        self.graph = graph
+        self.model = model
+        self.radio_range = radio_range
+        self.max_hops = max_hops
+        self.tick = tick
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Apply the initial closure and begin ticking."""
+        self._running = True
+        self.sync()
+        self.sim.schedule(self.tick, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking (the graph keeps its last published state)."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def physical_links(self) -> dict[str, set[str]]:
+        """The current 1-hop radio adjacency."""
+        names = self.model.nodes()
+        links: dict[str, set[str]] = {name: set() for name in names}
+        for i, a in enumerate(names):
+            pa = self.model.position_of(a)
+            if pa is None:
+                continue
+            for b in names[i + 1:]:
+                pb = self.model.position_of(b)
+                if pb is None:
+                    continue
+                if pa.distance_to(pb) <= self.radio_range:
+                    links[a].add(b)
+                    links[b].add(a)
+        return links
+
+    def sync(self) -> None:
+        """Recompute the k-hop closure and publish the diff."""
+        links = self.physical_links()
+        names = sorted(links)
+        for name in names:
+            self.graph.add_node(name)
+        reach = {name: self._within_hops(name, links) for name in names}
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                self.graph.set_visible(a, b, b in reach[a])
+
+    def _within_hops(self, start: str, links: dict[str, set[str]]) -> set[str]:
+        """Nodes reachable from ``start`` in <= max_hops radio links."""
+        seen = {start}
+        frontier = deque([(start, 0)])
+        reachable = set()
+        while frontier:
+            node, depth = frontier.popleft()
+            if depth == self.max_hops:
+                continue
+            for neighbor in links.get(node, ()):
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                reachable.add(neighbor)
+                frontier.append((neighbor, depth + 1))
+        return reachable
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.model.advance(self.tick)
+        self.sync()
+        self.sim.schedule(self.tick, self._tick)

@@ -1,0 +1,99 @@
+"""Message and byte accounting for experiments.
+
+Every benchmark in the harness reports communication cost (messages per
+operation, bytes per node), so the network keeps cheap, always-on counters
+rather than an optional tracing layer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class NodeStats:
+    """Per-node communication counters."""
+
+    __slots__ = (
+        "sent_unicast", "sent_multicast", "received",
+        "bytes_sent", "bytes_received", "dropped_invisible", "dropped_loss",
+        "by_kind",
+    )
+
+    def __init__(self) -> None:
+        self.sent_unicast = 0
+        self.sent_multicast = 0
+        self.received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.dropped_invisible = 0
+        self.dropped_loss = 0
+        self.by_kind: Counter = Counter()
+
+    @property
+    def sent(self) -> int:
+        """Total frames originated (unicast sends + multicast transmissions)."""
+        return self.sent_unicast + self.sent_multicast
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for reports."""
+        return {
+            "sent_unicast": self.sent_unicast,
+            "sent_multicast": self.sent_multicast,
+            "received": self.received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "dropped_invisible": self.dropped_invisible,
+            "dropped_loss": self.dropped_loss,
+        }
+
+
+class NetworkStats:
+    """Whole-network counters plus the per-node breakdown."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, NodeStats] = {}
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.total_dropped = 0
+
+    def node(self, name: str) -> NodeStats:
+        """The (auto-created) counters for a node."""
+        stats = self.nodes.get(name)
+        if stats is None:
+            stats = NodeStats()
+            self.nodes[name] = stats
+        return stats
+
+    def record_send(self, src: str, size: int, multicast: bool, kind: str) -> None:
+        """Account one originated frame."""
+        stats = self.node(src)
+        if multicast:
+            stats.sent_multicast += 1
+        else:
+            stats.sent_unicast += 1
+        stats.bytes_sent += size
+        stats.by_kind[kind] += 1
+        self.total_messages += 1
+        self.total_bytes += size
+
+    def record_receive(self, dst: str, size: int) -> None:
+        """Account one delivered frame."""
+        stats = self.node(dst)
+        stats.received += 1
+        stats.bytes_received += size
+
+    def record_drop(self, src: str, invisible: bool) -> None:
+        """Account a frame that never arrived."""
+        stats = self.node(src)
+        if invisible:
+            stats.dropped_invisible += 1
+        else:
+            stats.dropped_loss += 1
+        self.total_dropped += 1
+
+    def reset(self) -> None:
+        """Zero all counters (used between benchmark phases)."""
+        self.nodes.clear()
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.total_dropped = 0

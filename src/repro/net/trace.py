@@ -1,0 +1,137 @@
+"""Protocol tracing: capture and render frame timelines.
+
+Production middleware needs observability; the tracer taps a
+:class:`~repro.net.network.Network` and records every delivered frame (and
+optionally drops) with its virtual timestamp.  Filters keep captures
+focused; :meth:`ProtocolTrace.render` produces the compact timeline format
+used in debugging sessions and a few documentation examples::
+
+    t=0.102  b -> a   query       {'op': 'in', ...}
+    t=0.105  a -> b   query_reply {'found': True, ...}
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.message import Message
+from repro.net.network import Network
+
+FrameFilter = Callable[[Message], bool]
+
+
+class TraceEntry:
+    """One captured frame delivery (or drop)."""
+
+    __slots__ = ("time", "src", "dst", "kind", "payload", "dropped")
+
+    def __init__(self, time: float, src: str, dst: Optional[str], kind: str,
+                 payload: dict, dropped: bool = False) -> None:
+        self.time = time
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.dropped = dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " DROPPED" if self.dropped else ""
+        return f"<TraceEntry t={self.time:.3f} {self.src}->{self.dst} {self.kind}{flag}>"
+
+
+class ProtocolTrace:
+    """Captures frames flowing through a network.
+
+    The tracer wraps every node's delivery handler (including nodes
+    attached after the tracer starts), so it sees exactly what the nodes
+    see.  Stop with :meth:`detach`.
+    """
+
+    def __init__(self, network: Network, frame_filter: Optional[FrameFilter] = None,
+                 max_entries: int = 100_000) -> None:
+        self.network = network
+        self.filter = frame_filter
+        self.max_entries = max_entries
+        self.entries: list[TraceEntry] = []
+        self._wrapped: dict[str, Callable] = {}
+        self._original_attach = network.attach
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "ProtocolTrace":
+        """Begin capturing (idempotent); returns self for chaining."""
+        if self._attached:
+            return self
+        self._attached = True
+        for name in list(self.network._handlers):
+            self._wrap(name)
+        network = self.network
+        tracer = self
+
+        def attach_and_wrap(name, handler):
+            iface = tracer._original_attach(name, handler)
+            tracer._wrap(name)
+            return iface
+
+        network.attach = attach_and_wrap
+        return self
+
+    def detach(self) -> None:
+        """Stop capturing and restore the original handlers."""
+        if not self._attached:
+            return
+        self._attached = False
+        for name, original in self._wrapped.items():
+            if name in self.network._handlers:
+                self.network._handlers[name] = original
+        self._wrapped.clear()
+        self.network.attach = self._original_attach
+
+    def _wrap(self, name: str) -> None:
+        if name in self._wrapped:
+            return
+        original = self.network._handlers[name]
+        self._wrapped[name] = original
+        tracer = self
+
+        def traced(msg: Message) -> None:
+            tracer._record(msg)
+            original(msg)
+
+        self.network._handlers[name] = traced
+
+    def _record(self, msg: Message) -> None:
+        if self.filter is not None and not self.filter(msg):
+            return
+        if len(self.entries) >= self.max_entries:
+            return
+        self.entries.append(TraceEntry(self.network.sim.now, msg.src, msg.dst,
+                                       msg.kind, msg.payload))
+
+    # ------------------------------------------------------------------
+    def by_kind(self, kind: str) -> list[TraceEntry]:
+        """Captured entries of one protocol kind."""
+        return [e for e in self.entries if e.kind == kind]
+
+    def between(self, a: str, b: str) -> list[TraceEntry]:
+        """Captured entries exchanged (either direction) between a and b."""
+        return [e for e in self.entries
+                if {e.src, e.dst} == {a, b}]
+
+    def clear(self) -> None:
+        """Drop everything captured so far."""
+        self.entries.clear()
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """The timeline as text, newest entries last."""
+        entries = self.entries if limit is None else self.entries[-limit:]
+        lines = []
+        for entry in entries:
+            dst = entry.dst if entry.dst is not None else "*"
+            payload = {k: v for k, v in entry.payload.items() if k != "kind"}
+            lines.append(f"t={entry.time:9.3f}  {entry.src} -> {dst:<10} "
+                         f"{entry.kind:<14} {payload}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

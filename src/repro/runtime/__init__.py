@@ -1,0 +1,24 @@
+"""Real-thread runtime for the tuple-space kernel.
+
+Everything in :mod:`repro.core` runs over the discrete-event simulator so
+experiments are deterministic and scale on one machine.  This package
+demonstrates that the model is not simulator-bound: the same tuple/pattern
+substrate drives a **thread-safe tuple space** with genuinely blocking
+``rd``/``in`` (condition variables, wall-clock lease deadlines) and a
+**threaded Tiamat node** whose logical space spans other nodes in the
+process, linked by an explicit visibility set.
+
+The threaded runtime mirrors the paper's prototype shape (Java threads +
+sockets) at the semantic level; the inter-node transport is an in-process
+registry rather than real sockets, which keeps the tests hermetic while
+exercising true concurrency.
+"""
+
+from repro.runtime.space import ThreadSafeTupleSpace
+from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
+
+__all__ = [
+    "ThreadSafeTupleSpace",
+    "ThreadedNodeRegistry",
+    "ThreadedTiamatNode",
+]

@@ -1,0 +1,144 @@
+"""Threaded Tiamat nodes: opportunistic logical spaces over real threads.
+
+A :class:`ThreadedNodeRegistry` plays the role of the network: it records
+which nodes exist and which pairs are mutually visible.  Each
+:class:`ThreadedTiamatNode` owns a :class:`ThreadSafeTupleSpace` and runs
+its logical-space operations against the union of its own space and the
+spaces of currently visible nodes — re-sampling visibility on every probe
+round, which is exactly the opportunistic construction of section 2.2
+(no connection or disconnection operations anywhere).
+
+Destructive remote takes use the same two-phase hold/confirm discipline as
+the simulated protocol, implemented with the store's own ``hold`` under the
+target space's lock, so exactly-once consumption holds under real
+concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.runtime.space import ThreadSafeTupleSpace
+from repro.tuples.matching import matches
+from repro.tuples.model import Pattern, Tuple
+
+
+class ThreadedNodeRegistry:
+    """In-process 'network': node registry plus a visibility relation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._nodes: dict[str, "ThreadedTiamatNode"] = {}
+        self._edges: set[frozenset] = set()
+
+    def register(self, node: "ThreadedTiamatNode") -> None:
+        """Attach a node (idempotent by name)."""
+        with self._lock:
+            self._nodes[node.name] = node
+
+    def set_visible(self, a: str, b: str, visible: bool = True) -> None:
+        """Set or clear mutual visibility between two nodes."""
+        if a == b:
+            return
+        edge = frozenset((a, b))
+        with self._lock:
+            if visible:
+                self._edges.add(edge)
+            else:
+                self._edges.discard(edge)
+
+    def visible_nodes(self, name: str) -> list["ThreadedTiamatNode"]:
+        """The nodes currently visible from ``name`` (sorted by name)."""
+        with self._lock:
+            peers = sorted(
+                other for edge in self._edges if name in edge
+                for other in edge if other != name
+            )
+            return [self._nodes[p] for p in peers if p in self._nodes]
+
+
+class ThreadedTiamatNode:
+    """One node: a local space plus opportunistic logical operations."""
+
+    #: How often blocking operations re-sample visibility and re-probe.
+    POLL_INTERVAL = 0.005
+
+    def __init__(self, registry: ThreadedNodeRegistry, name: str) -> None:
+        self.registry = registry
+        self.name = name
+        self.space = ThreadSafeTupleSpace(name)
+        registry.register(self)
+
+    # ------------------------------------------------------------------
+    # The six operations
+    # ------------------------------------------------------------------
+    def out(self, tup: Tuple, lease_duration: Optional[float] = None) -> None:
+        """Deposit into the local space (default scope, section 2.2)."""
+        self.space.out(tup, lease_duration)
+
+    def rdp(self, pattern: Pattern) -> Optional[Tuple]:
+        """Non-blocking read over the current logical space."""
+        local = self.space.rdp(pattern)
+        if local is not None:
+            return local
+        for peer in self.registry.visible_nodes(self.name):
+            found = peer.space.rdp(pattern)
+            if found is not None:
+                return found
+        return None
+
+    def inp(self, pattern: Pattern) -> Optional[Tuple]:
+        """Non-blocking take over the current logical space."""
+        local = self.space.inp(pattern)
+        if local is not None:
+            return local
+        for peer in self.registry.visible_nodes(self.name):
+            taken = peer.space.inp(pattern)
+            if taken is not None:
+                return taken
+        return None
+
+    def rd(self, pattern: Pattern, timeout: float = 5.0) -> Optional[Tuple]:
+        """Blocking read: polls the logical space until match or lease end."""
+        return self._blocking(pattern, remove=False, timeout=timeout)
+
+    def in_(self, pattern: Pattern, timeout: float = 5.0) -> Optional[Tuple]:
+        """Blocking take: polls the logical space until match or lease end."""
+        return self._blocking(pattern, remove=True, timeout=timeout)
+
+    def eval(self, fn, *args, lease_duration: Optional[float] = None) -> threading.Thread:
+        """Active tuple: run ``fn(*args)`` on a thread, deposit its result."""
+        def runner():
+            result = fn(*args)
+            if not isinstance(result, Tuple):
+                raise TypeError(f"eval returned {result!r}, not a Tuple")
+            self.space.out(result, lease_duration)
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        return thread
+
+    # ------------------------------------------------------------------
+    def _blocking(self, pattern: Pattern, remove: bool,
+                  timeout: float) -> Optional[Tuple]:
+        deadline = time.monotonic() + timeout
+        while True:
+            # Local space first — use a short real block so a local deposit
+            # wakes us immediately.
+            local = (self.space.in_(pattern, timeout=self.POLL_INTERVAL) if remove
+                     else self.space.rd(pattern, timeout=self.POLL_INTERVAL))
+            if local is not None:
+                return local
+            # Then the currently visible peers (opportunistic re-sample).
+            for peer in self.registry.visible_nodes(self.name):
+                found = (peer.space.inp(pattern) if remove
+                         else peer.space.rdp(pattern))
+                if found is not None:
+                    return found
+            if time.monotonic() >= deadline:
+                return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ThreadedTiamatNode {self.name}>"

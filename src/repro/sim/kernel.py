@@ -1,0 +1,213 @@
+"""The discrete-event simulator: clock, event queue, and run loop.
+
+The design is a small, deterministic core:
+
+* :class:`Simulator` owns the virtual clock (``now``) and a binary heap of
+  pending callbacks keyed by ``(time, sequence)``.  The monotonically
+  increasing sequence number guarantees FIFO order among callbacks scheduled
+  for the same instant, which in turn makes every experiment reproducible.
+* :class:`Timer` is the cancellable handle returned by
+  :meth:`Simulator.schedule`; cancelling is O(1) (the heap entry is merely
+  flagged dead and skipped when popped).
+* Generator-based processes and event objects live in sibling modules and
+  reduce to ``schedule`` calls on this class.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError, StopSimulation
+from repro.sim.rng import RngStream
+
+
+class Timer:
+    """Cancellable handle for a scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule`; user code only ever
+    calls :meth:`cancel` or inspects :attr:`cancelled`/:attr:`fired`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; a no-op if it already fired."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the callback is still pending."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<Timer t={self.time:.6g} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulation's random streams.  Two runs with the
+        same seed and the same scheduled work produce bit-identical event
+        orderings.
+    start_time:
+        Initial value of the virtual clock (defaults to ``0.0``).
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Timer] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.seed = seed
+        self._rng_root = RngStream(seed)
+        self._rng_children: dict[str, RngStream] = {}
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock and randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def rng(self, name: str = "default") -> RngStream:
+        """Return a named random stream derived from the master seed.
+
+        Named streams decouple the randomness consumed by independent
+        subsystems (e.g. mobility vs. message loss), so adding randomness in
+        one place does not perturb the sampled values in another.
+        """
+        stream = self._rng_children.get(name)
+        if stream is None:
+            stream = self._rng_root.child(name)
+            self._rng_children[name] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Run ``callback(*args)`` after ``delay`` units of virtual time.
+
+        ``delay`` must be non-negative; a zero delay schedules the callback
+        for the current instant, after all callbacks already queued for this
+        instant (FIFO).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        timer = Timer(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._queue, timer)
+        return timer
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(max(0.0, time - self._now), callback, *args)
+
+    # ------------------------------------------------------------------
+    # Processes and events (thin wrappers; real logic in sibling modules)
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Generator) -> "Process":
+        """Start a generator-based process now; returns its Process handle."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def event(self) -> "Event":
+        """Create an untriggered event bound to this simulator."""
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Timeout":
+        """Create an event that succeeds after ``delay`` virtual time units."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have run.  Returns the final clock value.
+
+        When ``until`` is given the clock is advanced exactly to ``until``
+        even if the queue drained earlier, mirroring SimPy semantics so that
+        periodic measurements aligned to the horizon are well-defined.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                timer = self._queue[0]
+                if timer.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and timer.time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                if timer.time < self._now:
+                    raise SimulationError("event queue corrupted: time moved backwards")
+                self._now = timer.time
+                timer.fired = True
+                try:
+                    timer.callback(*timer.args)
+                except StopSimulation:
+                    break
+                processed += 1
+                self.events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return self._now
+
+    def step(self) -> bool:
+        """Process exactly one pending callback; False if queue is empty."""
+        before = self.events_processed
+        self.run(max_events=1)
+        return self.events_processed > before
+
+    def stop(self) -> None:
+        """Halt the current :meth:`run` after the active callback returns."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) callbacks in the queue."""
+        return sum(1 for t in self._queue if not t.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live callback, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.6g} pending={self.pending}>"

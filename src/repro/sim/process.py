@@ -1,0 +1,106 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that ``yield``\\ s :class:`~repro.sim.events.Event`
+objects; the kernel resumes the generator with the event's value when the
+event triggers (or throws the event's exception into it on failure).  The
+process object is itself an event that succeeds with the generator's return
+value, so processes compose: one process can wait for another, or combine a
+child process with a timeout via :class:`~repro.sim.events.AnyOf`.
+
+Processes support cooperative interruption
+(:meth:`Process.interrupt`), which throws
+:class:`~repro.errors.ProcessInterrupt` into the generator at the point it is
+currently waiting — the mechanism the leasing subsystem uses to cut off
+work whose lease has been revoked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.events import Event
+
+
+class Process(Event):
+    """A running generator coupled to the simulator.
+
+    Create via :meth:`repro.sim.Simulator.spawn`.  The process starts at the
+    current instant (its first step runs via a zero-delay timer, so spawning
+    never re-enters user code synchronously).
+    """
+
+    def __init__(self, sim, generator: Generator) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"spawn() needs a generator, got {generator!r}")
+        self.generator = generator
+        self._waiting_on: Event | None = None
+        sim.schedule(0.0, self._step, None, None)
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process where it waits.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting detaches it from the awaited event first, so a later
+        trigger of that event cannot resume the process twice.
+        """
+        if not self.alive:
+            raise SimulationError("cannot interrupt a finished process")
+        self.sim.schedule(0.0, self._deliver_interrupt, cause)
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if not self.alive:
+            return  # finished in the meantime; interrupt is moot
+        if self._waiting_on is not None:
+            self._waiting_on.remove_callback(self._resume)
+            self._waiting_on = None
+        self._step(None, ProcessInterrupt(cause))
+
+    # -- stepping ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            event.defuse()
+            self._step(None, event.value)
+
+    def _step(self, value: Any, exception: BaseException | None) -> None:
+        try:
+            if exception is not None:
+                target = self.generator.throw(exception)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process failure path
+            self.fail(exc)
+            self.sim.schedule(0.0, self._reraise_if_unhandled, exc)
+            return
+        if not isinstance(target, Event):
+            self.generator.throw(
+                SimulationError(f"process yielded {target!r}; yield Event objects")
+            )
+            return
+        if target is self:
+            self.generator.throw(SimulationError("process cannot wait on itself"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _reraise_if_unhandled(self, exc: BaseException) -> None:
+        # If nothing waited on this process and nobody defused the failure,
+        # surface the exception instead of letting it vanish: "errors should
+        # never pass silently".  Waiters (other processes, AnyOf/AllOf)
+        # defuse the failure when they consume it; this callback runs after
+        # the failure callbacks have been flushed, so the flag is settled.
+        if not self.defused:
+            raise exc

@@ -1,0 +1,143 @@
+"""Synchronization primitives for simulation processes.
+
+The Tiamat middleware itself manages contention through leases, but
+scenario and application code frequently needs plain coordination tools:
+a counted :class:`SimResource` (e.g. "this PDA can run two concurrent
+fetches"), a :class:`SimStore` (producer/consumer buffer of Python
+objects), and a :class:`Gate` (broadcast signal many processes wait on).
+
+All three follow the conventions of the kernel: acquisition returns an
+Event to ``yield`` on, FIFO fairness among waiters, and deterministic
+behaviour under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class SimResource:
+    """A counted resource with FIFO acquisition.
+
+    ::
+
+        resource = SimResource(sim, capacity=2)
+
+        def worker(sim):
+            token = yield resource.acquire()
+            try:
+                yield sim.timeout(3.0)
+            finally:
+                resource.release(token)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: deque[Event] = deque()
+        self._tokens = 0
+
+    def acquire(self) -> Event:
+        """An event that succeeds (with an opaque token) once a unit is free."""
+        event = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self._tokens += 1
+            event.succeed(self._tokens)
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self, token: Any = None) -> None:
+        """Return a unit; wakes the longest-waiting acquirer."""
+        if self.in_use <= 0:
+            raise SimulationError("release without acquire")
+        if self._queue:
+            event = self._queue.popleft()
+            self._tokens += 1
+            event.succeed(self._tokens)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queued(self) -> int:
+        """Processes currently waiting to acquire."""
+        return len(self._queue)
+
+
+class SimStore:
+    """An unbounded FIFO buffer of Python objects for processes.
+
+    ``put`` never blocks; ``get`` returns an event yielding the oldest
+    item, blocking (FIFO among getters) while the store is empty.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the longest-waiting getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that succeeds with the next item."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Gate:
+    """A broadcast signal: every waiter is released when the gate opens.
+
+    Re-usable: :meth:`close` re-arms it.  Waiting on an open gate returns
+    immediately.
+    """
+
+    def __init__(self, sim: Simulator, open_: bool = False) -> None:
+        self.sim = sim
+        self._open = open_
+        self._waiters: list[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        """Whether waiters currently pass straight through."""
+        return self._open
+
+    def wait(self) -> Event:
+        """An event that succeeds when the gate is (or becomes) open."""
+        event = self.sim.event()
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def open(self, value: Any = None) -> None:
+        """Open the gate, releasing every current waiter."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+
+    def close(self) -> None:
+        """Re-arm the gate; subsequent waiters block until the next open."""
+        self._open = False

@@ -1,0 +1,21 @@
+"""The tuple/antituple matching relation.
+
+A pattern matches a tuple iff they have the same arity and every field spec
+admits the corresponding field value.  The relation is pure and total; all
+richer behaviour (non-deterministic selection among multiple matches,
+blocking until a match exists) lives in the store and space layers.
+"""
+
+from __future__ import annotations
+
+from repro.tuples.model import Pattern, Tuple
+
+
+def matches(pattern: Pattern, tup: Tuple) -> bool:
+    """True iff ``pattern`` admits ``tup`` (same arity, all specs admit)."""
+    if pattern.arity != tup.arity:
+        return False
+    for spec, value in zip(pattern.specs, tup.fields):
+        if not spec.admits(value):
+            return False
+    return True

@@ -1,0 +1,95 @@
+"""Local-space persistence.
+
+Section 2.4's space-info tuple advertises "whether the local space provides
+a persistence mechanism or not"; this module provides that mechanism.  A
+space snapshot captures every visible tuple together with its remaining
+lease time, encoded with the wire codec, so a device can power down and
+restore its space later — expiry deadlines are preserved *relative to the
+clock* (a tuple with 30 s of lease left at snapshot time has 30 s left at
+restore time, wherever the restoring clock stands).
+
+Snapshots are plain JSON-representable dicts; :func:`save_space` /
+:func:`load_space` add file I/O on top for the threaded runtime and any
+out-of-simulator use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import SerializationError
+from repro.tuples.serialization import decode_tuple, encode_tuple
+from repro.tuples.space import LocalTupleSpace
+
+#: Snapshot format version, bumped on layout changes.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_space(space: LocalTupleSpace,
+                   skip_tags: tuple = ("__space_info__",)) -> dict:
+    """Capture a space's visible tuples and remaining lease times.
+
+    Held entries (mid two-phase claim) are deliberately excluded: a claim
+    cannot survive a power cycle, and the claim timeout on the live side
+    puts the logical state right.  Infrastructure tuples (first field in
+    ``skip_tags``, by default the space-info tuple) are excluded too —
+    the restoring instance maintains its own.
+    """
+    now = space.sim.now
+    entries = []
+    for entry in sorted(space.store, key=lambda e: e.entry_id):
+        if not entry.visible:
+            continue
+        if entry.tuple.fields and entry.tuple[0] in skip_tags:
+            continue
+        expires_at = entry.meta.get("expires_at")
+        remaining = None if expires_at is None else max(0.0, expires_at - now)
+        entries.append({
+            "tuple": encode_tuple(entry.tuple),
+            "remaining": remaining,
+        })
+    return {
+        "version": SNAPSHOT_VERSION,
+        "name": space.name,
+        "entries": entries,
+    }
+
+
+def restore_space(space: LocalTupleSpace, snapshot: dict) -> int:
+    """Deposit a snapshot's tuples into ``space``; returns the count.
+
+    Remaining lease times are re-anchored to the restoring clock.  Raises
+    :class:`SerializationError` on malformed snapshots.
+    """
+    if not isinstance(snapshot, dict) or snapshot.get("version") != SNAPSHOT_VERSION:
+        raise SerializationError(f"unsupported snapshot: {snapshot!r}")
+    now = space.sim.now
+    restored = 0
+    try:
+        for item in snapshot["entries"]:
+            tup = decode_tuple(item["tuple"])
+            remaining = item.get("remaining")
+            expires_at = None if remaining is None else now + float(remaining)
+            space.out(tup, expires_at=expires_at)
+            restored += 1
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"malformed snapshot: {exc}") from exc
+    return restored
+
+
+def save_space(space: LocalTupleSpace, path: str) -> int:
+    """Snapshot ``space`` to a JSON file; returns the entry count."""
+    snapshot = snapshot_space(space)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, separators=(",", ":"))
+    return len(snapshot["entries"])
+
+
+def load_space(space: LocalTupleSpace, path: str) -> int:
+    """Restore a JSON snapshot file into ``space``; returns the count."""
+    with open(path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    return restore_space(space, snapshot)

@@ -1,0 +1,157 @@
+"""Wire codec for tuples and patterns.
+
+Tiamat instances exchange tuples and antituples over the (simulated)
+network; this module defines a compact, JSON-representable encoding for
+both, plus :func:`encoded_size`, which the network layer uses for byte
+accounting and the lease manager uses for storage accounting.
+
+Encoding scheme (tag-first lists, so nested tuples are unambiguous)::
+
+    field:   ["b", true] | ["i", 5] | ["f", 2.5] | ["s", "x"]
+             | ["y", "<base64>"] | ["t", [field, ...]]
+    tuple:   ["t", [field, ...]]
+    spec:    ["A", field] | ["F", "int"] | ["*"] | ["R", lo, hi]
+    pattern: ["p", [spec, ...]]
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.tuples.model import ANY, Actual, Field, Formal, Pattern, Range, Tuple
+
+_FORMAL_TYPES = {
+    "bool": bool,
+    "int": int,
+    "float": float,
+    "str": str,
+    "bytes": bytes,
+    "Tuple": Tuple,
+}
+
+
+def _encode_field(value: Any) -> list:
+    if isinstance(value, Tuple):
+        return ["t", [_encode_field(f) for f in value.fields]]
+    if isinstance(value, bool):
+        return ["b", value]
+    if isinstance(value, int):
+        return ["i", value]
+    if isinstance(value, float):
+        return ["f", value]
+    if isinstance(value, str):
+        return ["s", value]
+    if isinstance(value, bytes):
+        return ["y", base64.b64encode(value).decode("ascii")]
+    raise SerializationError(f"cannot encode field {value!r}")
+
+
+def _decode_field(data: Any) -> Any:
+    if not isinstance(data, list) or not data:
+        raise SerializationError(f"malformed field encoding: {data!r}")
+    tag = data[0]
+    if tag == "t":
+        return Tuple(*[_decode_field(f) for f in data[1]])
+    if tag == "b":
+        return bool(data[1])
+    if tag == "i":
+        return int(data[1])
+    if tag == "f":
+        return float(data[1])
+    if tag == "s":
+        return str(data[1])
+    if tag == "y":
+        return base64.b64decode(data[1])
+    raise SerializationError(f"unknown field tag {tag!r}")
+
+
+def encode_tuple(tup: Tuple) -> list:
+    """Encode a tuple to its JSON-representable form."""
+    return _encode_field(tup)
+
+
+def decode_tuple(data: Any) -> Tuple:
+    """Decode a tuple from its JSON-representable form.
+
+    Any malformation — wrong tags, wrong value types, truncated lists,
+    invalid base64 — raises :class:`SerializationError`: frames arrive
+    from arbitrary peers and must never crash the dispatcher with an
+    untyped exception.
+    """
+    try:
+        value = _decode_field(data)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"malformed tuple encoding: {exc}") from exc
+    if not isinstance(value, Tuple):
+        raise SerializationError(f"encoded value is not a tuple: {data!r}")
+    return value
+
+
+def _encode_spec(spec: Field) -> list:
+    if isinstance(spec, Actual):
+        return ["A", _encode_field(spec.value)]
+    if isinstance(spec, Formal):
+        return ["F", spec.type.__name__]
+    if spec == ANY:
+        return ["*"]
+    if isinstance(spec, Range):
+        return ["R", spec.lo, spec.hi]
+    raise SerializationError(f"cannot encode pattern spec {spec!r}")
+
+
+def _decode_spec(data: Any) -> Field:
+    if not isinstance(data, list) or not data:
+        raise SerializationError(f"malformed spec encoding: {data!r}")
+    tag = data[0]
+    if tag == "A":
+        return Actual(_decode_field(data[1]))
+    if tag == "F":
+        type_ = _FORMAL_TYPES.get(data[1])
+        if type_ is None:
+            raise SerializationError(f"unknown formal type {data[1]!r}")
+        return Formal(type_)
+    if tag == "*":
+        return ANY
+    if tag == "R":
+        return Range(data[1], data[2])
+    raise SerializationError(f"unknown spec tag {tag!r}")
+
+
+def encode_pattern(pattern: Pattern) -> list:
+    """Encode a pattern (antituple) to its JSON-representable form."""
+    return ["p", [_encode_spec(s) for s in pattern.specs]]
+
+
+def decode_pattern(data: Any) -> Pattern:
+    """Decode a pattern from its JSON-representable form.
+
+    Malformed input raises :class:`SerializationError` (see
+    :func:`decode_tuple` for why the conversion is strict).
+    """
+    if not isinstance(data, list) or len(data) != 2 or data[0] != "p":
+        raise SerializationError(f"malformed pattern encoding: {data!r}")
+    try:
+        return Pattern(*[_decode_spec(s) for s in data[1]])
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"malformed pattern encoding: {exc}") from exc
+
+
+def encoded_size(value: Any) -> int:
+    """Wire size in bytes of a tuple, pattern, or already-encoded payload."""
+    if isinstance(value, Tuple):
+        payload = encode_tuple(value)
+    elif isinstance(value, Pattern):
+        payload = encode_pattern(value)
+    else:
+        payload = value
+    try:
+        return len(json.dumps(payload, separators=(",", ":")))
+    except TypeError as exc:
+        raise SerializationError(f"payload is not JSON-representable: {exc}") from exc

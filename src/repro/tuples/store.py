@@ -1,0 +1,193 @@
+"""An indexed tuple multiset with two-phase removal.
+
+The store is the passive data structure under every space implementation in
+the repository (Tiamat's local spaces and all five baselines).  It supports:
+
+* duplicate tuples (a multiset — two identical ``out``\\ s mean two tuples);
+* candidate lookup indexed by arity and, within an arity, by the value of
+  each actual field position of the query pattern (cheap and effective for
+  the tag-in-a-fixed-position workloads generative communication produces);
+* **two-phase removal**: a destructive match can be *held* (made invisible
+  to other queries), then *confirmed* (removed for good) or *released*
+  (made visible again).  Tiamat's distributed `in` needs this: a remote
+  instance that finds a match holds the tuple while it races other
+  responders; the loser releases ("the remaining instances place the tuples
+  back into their respective spaces", section 3.1.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional
+
+from repro.errors import TupleError
+from repro.sim.rng import RngStream
+from repro.tuples.matching import matches
+from repro.tuples.model import Actual, Pattern, Tuple
+
+
+class StoredEntry:
+    """A tuple resident in a store, with bookkeeping metadata.
+
+    ``meta`` is an open dict for the layers above (lease expiry time, the
+    identity of the depositing instance, and so on); the store itself never
+    interprets it.
+    """
+
+    __slots__ = ("entry_id", "tuple", "meta", "held", "removed")
+
+    def __init__(self, entry_id: int, tup: Tuple, meta: Optional[dict] = None) -> None:
+        self.entry_id = entry_id
+        self.tuple = tup
+        self.meta = meta if meta is not None else {}
+        self.held = False
+        self.removed = False
+
+    @property
+    def visible(self) -> bool:
+        """Whether queries may currently see this entry."""
+        return not self.held and not self.removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "held" if self.held else ("removed" if self.removed else "visible")
+        return f"<StoredEntry #{self.entry_id} {self.tuple!r} {flags}>"
+
+
+class TupleStore:
+    """Arity-indexed multiset of tuples with hold/confirm/release removal."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._entries: dict[int, StoredEntry] = {}
+        # arity -> insertion-ordered dict of entry_id -> StoredEntry
+        self._by_arity: dict[int, dict[int, StoredEntry]] = {}
+        # (arity, position, value-key) -> dict of entry_id -> StoredEntry
+        self._by_actual: dict[tuple, dict[int, StoredEntry]] = {}
+
+    # ------------------------------------------------------------------
+    # Insertion / removal
+    # ------------------------------------------------------------------
+    def add(self, tup: Tuple, meta: Optional[dict] = None) -> StoredEntry:
+        """Insert a tuple; returns its entry (ids are unique per store)."""
+        entry = StoredEntry(next(self._ids), tup, meta)
+        self._entries[entry.entry_id] = entry
+        self._by_arity.setdefault(tup.arity, {})[entry.entry_id] = entry
+        for pos, value in enumerate(tup.fields):
+            key = (tup.arity, pos, self._value_key(value))
+            self._by_actual.setdefault(key, {})[entry.entry_id] = entry
+        return entry
+
+    def remove(self, entry_id: int) -> StoredEntry:
+        """Permanently remove an entry (held or visible)."""
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            raise TupleError(f"no entry #{entry_id} in store")
+        entry.removed = True
+        entry.held = False
+        self._by_arity[entry.tuple.arity].pop(entry_id, None)
+        for pos, value in enumerate(entry.tuple.fields):
+            key = (entry.tuple.arity, pos, self._value_key(value))
+            bucket = self._by_actual.get(key)
+            if bucket is not None:
+                bucket.pop(entry_id, None)
+                if not bucket:
+                    del self._by_actual[key]
+        return entry
+
+    # ------------------------------------------------------------------
+    # Two-phase removal
+    # ------------------------------------------------------------------
+    def hold(self, entry_id: int) -> StoredEntry:
+        """Make an entry invisible pending confirm/release."""
+        entry = self._require(entry_id)
+        if entry.held:
+            raise TupleError(f"entry #{entry_id} already held")
+        entry.held = True
+        return entry
+
+    def confirm(self, entry_id: int) -> StoredEntry:
+        """Finalize removal of a held entry."""
+        entry = self._require(entry_id)
+        if not entry.held:
+            raise TupleError(f"entry #{entry_id} not held; cannot confirm")
+        return self.remove(entry_id)
+
+    def release(self, entry_id: int) -> StoredEntry:
+        """Put a held entry back into visibility."""
+        entry = self._require(entry_id)
+        if not entry.held:
+            raise TupleError(f"entry #{entry_id} not held; cannot release")
+        entry.held = False
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def candidates(self, pattern: Pattern) -> Iterator[StoredEntry]:
+        """Visible entries that *may* match, via the cheapest index.
+
+        Uses the smallest bucket among the pattern's actual-field indexes,
+        falling back to the arity bucket when the pattern is all formals.
+        """
+        buckets = [self._by_arity.get(pattern.arity, {})]
+        for pos, spec in enumerate(pattern.specs):
+            if isinstance(spec, Actual):
+                key = (pattern.arity, pos, self._value_key(spec.value))
+                buckets.append(self._by_actual.get(key, {}))
+        smallest = min(buckets, key=len)
+        for entry in list(smallest.values()):
+            if entry.visible:
+                yield entry
+
+    def find(self, pattern: Pattern, rng: Optional[RngStream] = None) -> Optional[StoredEntry]:
+        """A visible entry matching ``pattern``, or None.
+
+        When several entries match, one is chosen non-deterministically
+        (uniformly from ``rng`` when given; otherwise the oldest), per the
+        Linda specification of ``rdp``.
+        """
+        found = [e for e in self.candidates(pattern) if matches(pattern, e.tuple)]
+        if not found:
+            return None
+        if rng is not None and len(found) > 1:
+            return rng.choice(found)
+        return found[0]
+
+    def find_all(self, pattern: Pattern) -> list[StoredEntry]:
+        """All visible entries matching ``pattern`` (oldest first)."""
+        found = [e for e in self.candidates(pattern) if matches(pattern, e.tuple)]
+        found.sort(key=lambda e: e.entry_id)
+        return found
+
+    def get(self, entry_id: int) -> Optional[StoredEntry]:
+        """The entry with this id, or None if it was removed."""
+        return self._entries.get(entry_id)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StoredEntry]:
+        return iter(list(self._entries.values()))
+
+    @property
+    def visible_count(self) -> int:
+        """Number of entries currently visible to queries."""
+        return sum(1 for e in self._entries.values() if e.visible)
+
+    def stored_bytes(self) -> int:
+        """Approximate wire size of everything stored (for resource accounting)."""
+        from repro.tuples.serialization import encoded_size
+
+        return sum(encoded_size(e.tuple) for e in self._entries.values())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _value_key(value: Any) -> Any:
+        """A hashable index key that respects exact-type equality."""
+        return (type(value).__name__, value)
+
+    def _require(self, entry_id: int) -> StoredEntry:
+        entry = self._entries.get(entry_id)
+        if entry is None:
+            raise TupleError(f"no entry #{entry_id} in store")
+        return entry

@@ -1,0 +1,167 @@
+"""Edge-case coverage for the sample applications."""
+
+import pytest
+
+from repro.apps import (
+    FractalMaster,
+    FractalWorker,
+    OriginFabric,
+    ProxyServer,
+    WebClient,
+    WebScenario,
+)
+from repro.core import TiamatConfig, TiamatInstance
+from repro.errors import LeaseRefusedError
+from repro.leasing import DenyAllPolicy, LeaseTerms, SimpleLeaseRequester
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=41)
+
+
+# ---------------------------------------------------------------------------
+# Web client / proxy
+# ---------------------------------------------------------------------------
+def test_client_counts_failure_when_no_proxy_ever(sim):
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    inst = TiamatInstance(sim, net, "client", config=config)
+    client = WebClient(sim, inst, request_lease=5.0, response_wait=5.0)
+    process = sim.spawn(client.fetch("http://nobody/"))
+    sim.run(until=30.0)
+    assert process.value is None
+    assert client.failed == 1 and client.satisfied == 0
+
+
+def test_client_lease_refusal_fails_fast(sim):
+    net = Network(sim)
+    inst = TiamatInstance(sim, net, "client", policy=DenyAllPolicy())
+    client = WebClient(sim, inst)
+    process = sim.spawn(client.fetch("http://x/"))
+    sim.run(until=5.0)
+    assert process.value is None
+    assert client.failed == 1
+
+
+def test_proxy_stop_is_clean_midwait(sim):
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    inst = TiamatInstance(sim, net, "proxy", config=config)
+    proxy = ProxyServer(sim, inst, OriginFabric(), wait_lease=5.0)
+    proxy.start()
+    sim.run(until=2.0)
+    proxy.stop()
+    sim.run(until=60.0)  # the loop drains without error
+    assert proxy.handled == 0
+
+
+def test_proxy_survives_lease_refusals(sim):
+    net = Network(sim)
+    inst = TiamatInstance(sim, net, "proxy", policy=DenyAllPolicy())
+    proxy = ProxyServer(sim, inst, OriginFabric())
+    proxy.start()
+    sim.run(until=10.0)  # keeps retrying, never crashes
+    proxy.stop()
+    sim.run(until=20.0)
+
+
+def test_scenario_counters(sim):
+    net = Network(sim)
+    scenario = WebScenario(sim, net)
+    client = scenario.add_client("c")
+    scenario.add_proxy("p")
+    scenario.connect_all()
+    sim.spawn(client.fetch("http://one/"))
+    sim.run(until=60.0)
+    assert scenario.total_satisfied() == 1
+    assert scenario.total_failed() == 0
+
+
+def test_request_ids_are_unique_across_clients(sim):
+    net = Network(sim)
+    scenario = WebScenario(sim, net)
+    c1 = scenario.add_client("c1")
+    c2 = scenario.add_client("c2")
+    scenario.add_proxy("p")
+    scenario.connect_all()
+    sim.spawn(c1.fetch("http://a/"))
+    sim.spawn(c2.fetch("http://b/"))
+    sim.run(until=60.0)
+    # Both satisfied with the right bodies (no cross-talk between ids).
+    assert c1.satisfied == 1 and c2.satisfied == 1
+
+
+# ---------------------------------------------------------------------------
+# Fractal
+# ---------------------------------------------------------------------------
+def test_master_gives_up_when_no_workers(sim):
+    net = Network(sim)
+    inst = TiamatInstance(sim, net, "master")
+    master = FractalMaster(sim, inst, job="lonely", tiles=4,
+                           collect_lease=5.0)
+    process = sim.spawn(master.run())
+    sim.run(until=60.0)
+    assert process.triggered and process.value is None
+    assert not master.complete
+
+
+def test_worker_stop_midstream(sim):
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    m = TiamatInstance(sim, net, "master", config=config)
+    w = TiamatInstance(sim, net, "worker", config=config)
+    net.visibility.set_visible("master", "worker")
+    master = FractalMaster(sim, m, job="j", tiles=4, resolution=8, max_iter=20)
+    worker = FractalWorker(sim, w)
+    worker.start()
+    process = sim.spawn(master.run())
+    sim.run(until=600.0)
+    assert master.complete
+    worker.stop()
+    sim.run(until=700.0)
+    assert worker.tiles_done == 4
+
+
+def test_two_jobs_share_one_farm_without_crosstalk(sim):
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    m1 = TiamatInstance(sim, net, "m1", config=config)
+    m2 = TiamatInstance(sim, net, "m2", config=config)
+    w = TiamatInstance(sim, net, "w", config=config)
+    net.visibility.connect_clique(["m1", "m2", "w"])
+    master1 = FractalMaster(sim, m1, job="jobA", tiles=3, resolution=8,
+                            max_iter=20)
+    master2 = FractalMaster(sim, m2, job="jobB", tiles=3, resolution=8,
+                            max_iter=30)
+    FractalWorker(sim, w).start()
+    p1 = sim.spawn(master1.run())
+    p2 = sim.spawn(master2.run())
+    sim.run(until=600.0)
+    assert master1.complete and master2.complete
+    # Job identity kept results separate.
+    assert set(master1.results) == {0, 1, 2}
+    assert set(master2.results) == {0, 1, 2}
+    assert p1.value != p2.value  # different max_iter -> different checksums
+
+
+def test_worker_result_lease_refusal_does_not_crash(sim):
+    # A worker whose deposits are refused completes its loop gracefully.
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    m = TiamatInstance(sim, net, "master", config=config)
+    w = TiamatInstance(sim, net, "worker", config=config,
+                       policy=DenyAllPolicy())
+    net.visibility.set_visible("master", "worker")
+    master = FractalMaster(sim, m, job="j", tiles=2, resolution=8,
+                           max_iter=10, collect_lease=5.0)
+    worker = FractalWorker(sim, w)
+    worker.start()
+    process = sim.spawn(master.run())
+    sim.run(until=120.0)
+    # The worker cannot even lease its `in` ops, so the master times out.
+    assert process.triggered
+    worker.stop()

@@ -1,0 +1,122 @@
+"""Integration tests for the fractal master/worker application."""
+
+import pytest
+
+from repro.apps import FractalMaster, FractalWorker, mandelbrot_tile
+from repro.core import TiamatConfig, TiamatInstance
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def make_farm(seed=31, workers=2, tiles=8, resolution=16, max_iter=40,
+              time_per_iteration=None):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    names = ["master"] + [f"worker{i}" for i in range(workers)]
+    instances = {n: TiamatInstance(sim, net, n, config=config) for n in names}
+    net.visibility.connect_clique(names)
+    master = FractalMaster(sim, instances["master"], job="job1",
+                           tiles=tiles, resolution=resolution, max_iter=max_iter)
+    workers_ = [FractalWorker(sim, instances[f"worker{i}"],
+                              time_per_iteration=time_per_iteration)
+                for i in range(workers)]
+    for worker in workers_:
+        worker.start()
+    return sim, net, instances, master, workers_
+
+
+# ---------------------------------------------------------------------------
+# The kernel itself
+# ---------------------------------------------------------------------------
+def test_mandelbrot_kernel_deterministic():
+    a = mandelbrot_tile(-2.0, -1.25, 0.5, 1.25, 8, 8, 50)
+    b = mandelbrot_tile(-2.0, -1.25, 0.5, 1.25, 8, 8, 50)
+    assert a == b > 0
+
+
+def test_mandelbrot_interior_costs_more_than_exterior():
+    # A tile inside the set saturates max_iter; a far-away tile escapes fast.
+    interior = mandelbrot_tile(-0.2, -0.1, 0.0, 0.1, 8, 8, 100)
+    exterior = mandelbrot_tile(10.0, 10.0, 11.0, 11.0, 8, 8, 100)
+    assert interior > exterior
+    assert interior == 8 * 8 * 100  # every point maxes out
+
+
+# ---------------------------------------------------------------------------
+# The farm
+# ---------------------------------------------------------------------------
+def test_render_completes_and_checksums(seed=31):
+    sim, net, instances, master, workers = make_farm()
+    process = sim.spawn(master.run())
+    sim.run(until=600.0)
+    assert master.complete
+    assert process.value == master.checksum > 0
+
+
+def test_checksum_independent_of_worker_count():
+    """The distributed render computes the same image regardless of farm size."""
+    checksums = []
+    for workers in (1, 3):
+        sim, net, instances, master, _ = make_farm(workers=workers)
+        sim.spawn(master.run())
+        sim.run(until=600.0)
+        assert master.complete
+        checksums.append(master.checksum)
+    assert checksums[0] == checksums[1]
+
+
+def test_more_workers_finish_faster():
+    times = {}
+    for workers in (1, 4):
+        sim, net, instances, master, _ = make_farm(workers=workers, tiles=8,
+                                                   resolution=32, max_iter=80)
+        sim.spawn(master.run())
+        sim.run(until=2000.0)
+        assert master.complete
+        times[workers] = master.finished_at - master.started_at
+    assert times[4] < times[1]
+
+
+def test_work_is_shared_among_workers():
+    sim, net, instances, master, workers = make_farm(workers=3, tiles=9)
+    sim.spawn(master.run())
+    sim.run(until=600.0)
+    assert master.complete
+    busy = [w for w in workers if w.tiles_done > 0]
+    assert len(busy) >= 2  # load actually spread
+
+
+def test_workers_added_mid_render_without_perturbing_master():
+    # Slow per-iteration time so the render genuinely outlasts the join.
+    sim, net, instances, master, workers = make_farm(workers=1, tiles=12,
+                                                     resolution=32, max_iter=80,
+                                                     time_per_iteration=5e-4)
+    process = sim.spawn(master.run())
+
+    def add_worker():
+        late = TiamatInstance(sim, net, "late-worker",
+                              config=TiamatConfig(propagate_mode="continuous"))
+        instances["late-worker"] = late
+        net.visibility.connect_clique(list(instances))
+        worker = FractalWorker(sim, late, time_per_iteration=5e-4)
+        worker.start()
+        workers.append(worker)
+
+    sim.schedule(0.5, add_worker)
+    sim.run(until=2000.0)
+    assert master.complete
+    assert workers[-1].tiles_done > 0  # the late worker contributed
+
+
+def test_worker_removed_mid_render_without_losing_job():
+    sim, net, instances, master, workers = make_farm(workers=2, tiles=8)
+    sim.spawn(master.run())
+
+    def drop_worker():
+        workers[0].stop()
+        net.visibility.set_up("worker0", False)
+
+    sim.schedule(1.0, drop_worker)
+    sim.run(until=2000.0)
+    assert master.complete  # the surviving worker finished the job

@@ -1,0 +1,143 @@
+"""Integration tests for the leased service-discovery application."""
+
+import pytest
+
+from repro.apps import ServiceClient, ServiceProvider, advert_pattern
+from repro.core import TiamatConfig, TiamatInstance
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def build_world(sim, names):
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    instances = {n: TiamatInstance(sim, net, n, config=config) for n in names}
+    net.visibility.connect_clique(names)
+    return net, instances
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=61)
+
+
+def test_discover_finds_advertised_service(sim):
+    net, inst = build_world(sim, ["provider", "client"])
+    provider = ServiceProvider(sim, inst["provider"], "echo", lambda s: s)
+    provider.start()
+    client = ServiceClient(sim, inst["client"])
+    process = sim.spawn(client.discover("echo"))
+    sim.run(until=10.0)
+    assert process.value == "provider"
+    provider.stop()
+
+
+def test_discover_unknown_type_returns_none(sim):
+    net, inst = build_world(sim, ["provider", "client"])
+    ServiceProvider(sim, inst["provider"], "echo", lambda s: s).start()
+    client = ServiceClient(sim, inst["client"])
+    process = sim.spawn(client.discover("translator"))
+    sim.run(until=10.0)
+    assert process.value is None
+
+
+def test_call_roundtrip(sim):
+    net, inst = build_world(sim, ["provider", "client"])
+    provider = ServiceProvider(sim, inst["provider"], "upper",
+                               lambda s: s.upper())
+    provider.start()
+    client = ServiceClient(sim, inst["client"])
+    process = sim.spawn(client.call("upper", "hello"))
+    sim.run(until=30.0)
+    assert process.value == "HELLO"
+    assert provider.served == 1
+    assert client.completed == 1
+
+
+def test_advert_expires_after_provider_death(sim):
+    """Soft state: no stale registration survives a dead provider."""
+    net, inst = build_world(sim, ["provider", "client"])
+    provider = ServiceProvider(sim, inst["provider"], "echo", lambda s: s,
+                               advert_lease=5.0, refresh_every=2.0)
+    provider.start()
+    sim.run(until=4.0)
+    assert inst["provider"].space.count(advert_pattern("echo")) >= 1
+    provider.stop()  # crashes: stops refreshing
+    sim.run(until=20.0)
+    assert inst["provider"].space.count(advert_pattern("echo")) == 0
+    client = ServiceClient(sim, inst["client"])
+    process = sim.spawn(client.discover("echo"))
+    sim.run(until=30.0)
+    assert process.value is None  # discovery correctly finds nothing
+
+
+def test_advert_refresh_keeps_service_visible(sim):
+    net, inst = build_world(sim, ["provider", "client"])
+    provider = ServiceProvider(sim, inst["provider"], "echo", lambda s: s,
+                               advert_lease=5.0, refresh_every=2.0)
+    provider.start()
+    client = ServiceClient(sim, inst["client"])
+    # Much later than one advert lease: refreshes kept it alive.
+    sim.run(until=60.0)
+    process = sim.spawn(client.discover("echo"))
+    sim.run(until=70.0)
+    assert process.value == "provider"
+    provider.stop()
+
+
+def test_provider_replacement_invisible_to_client(sim):
+    """Like the web proxies: providers swap without the client noticing."""
+    net, inst = build_world(sim, ["p1", "p2", "client"])
+    first = ServiceProvider(sim, inst["p1"], "calc", lambda s: str(len(s)))
+    first.start()
+    client = ServiceClient(sim, inst["client"])
+    results = []
+
+    def caller():
+        for argument in ("one", "three", "seven"):
+            result = yield from client.call("calc", argument)
+            results.append(result)
+            yield sim.timeout(10.0)
+
+    sim.spawn(caller())
+
+    def swap():
+        first.stop()
+        net.visibility.set_up("p1", False)
+        ServiceProvider(sim, inst["p2"], "calc", lambda s: str(len(s))).start()
+
+    sim.schedule(12.0, swap)
+    sim.run(until=120.0)
+    assert results == ["3", "5", "5"]
+    assert client.completed == 3
+
+
+def test_two_service_types_coexist(sim):
+    net, inst = build_world(sim, ["p1", "p2", "client"])
+    ServiceProvider(sim, inst["p1"], "upper", lambda s: s.upper()).start()
+    ServiceProvider(sim, inst["p2"], "reverse", lambda s: s[::-1]).start()
+    client = ServiceClient(sim, inst["client"])
+    up = sim.spawn(client.call("upper", "abc"))
+    rev = sim.spawn(client.call("reverse", "abc"))
+    sim.run(until=30.0)
+    assert up.value == "ABC"
+    assert rev.value == "cba"
+
+
+def test_available_types_listing(sim):
+    net, inst = build_world(sim, ["p1", "p2", "client"])
+    ServiceProvider(sim, inst["p1"], "upper", str.upper).start()
+    ServiceProvider(sim, inst["p2"], "reverse", lambda s: s[::-1]).start()
+    client = ServiceClient(sim, inst["client"])
+    process = sim.spawn(client.available_types(["upper", "reverse", "ai"]))
+    sim.run(until=30.0)
+    assert process.value == ["reverse", "upper"]
+
+
+def test_call_without_any_provider_times_out(sim):
+    net, inst = build_world(sim, ["client"])
+    client = ServiceClient(sim, inst["client"], call_timeout=5.0)
+    process = sim.spawn(client.call("void", "x"))
+    sim.run(until=30.0)
+    assert process.value is None
+    assert client.calls == 1 and client.completed == 0

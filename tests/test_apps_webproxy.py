@@ -1,0 +1,121 @@
+"""Integration tests for the web client / proxy application (section 3.2)."""
+
+import pytest
+
+from repro.apps import OriginFabric, WebScenario
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def make_scenario(seed=21, clients=1, proxies=1, fetch_time=0.05):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    scenario = WebScenario(sim, net, fabric=OriginFabric(fetch_time=fetch_time))
+    for i in range(clients):
+        scenario.add_client(f"client{i}")
+    for i in range(proxies):
+        scenario.add_proxy(f"proxy{i}")
+    scenario.connect_all()
+    return sim, net, scenario
+
+
+def test_single_request_roundtrip():
+    sim, net, scenario = make_scenario()
+    client = scenario.clients["client0"]
+    process = sim.spawn(client.fetch("http://example.org/"))
+    sim.run(until=30.0)
+    assert process.triggered
+    assert "example.org" in process.value
+    assert client.satisfied == 1
+    assert scenario.proxies["proxy0"].handled == 1
+
+
+def test_client_never_learns_proxy_identity():
+    """Identity decoupling: the response tuple carries no server identity."""
+    sim, net, scenario = make_scenario()
+    client = scenario.clients["client0"]
+    process = sim.spawn(client.fetch("http://a/"))
+    sim.run(until=30.0)
+    body = process.value
+    assert body is not None
+    assert "proxy" not in body
+
+
+def test_multiple_clients_share_proxies():
+    sim, net, scenario = make_scenario(clients=3, proxies=2)
+    for name, client in scenario.clients.items():
+        sim.spawn(client.browse([f"http://{name}/1", f"http://{name}/2"]))
+    sim.run(until=60.0)
+    assert scenario.total_satisfied() == 6
+    assert scenario.total_failed() == 0
+    handled = sum(p.handled for p in scenario.proxies.values())
+    assert handled == 6
+
+
+def test_proxy_added_under_load_is_invisible_to_clients():
+    """Proxies can be dynamically added without the clients' knowledge."""
+    # Slow fetches saturate the lone proxy, so queued requests exist for
+    # the late proxy to pick up.
+    sim, net, scenario = make_scenario(clients=2, proxies=1, fetch_time=3.0)
+    urls = [f"http://site/{i}" for i in range(5)]
+    for client in scenario.clients.values():
+        sim.spawn(client.browse(urls, think_time=1.0))
+    sim.schedule(5.0, lambda: (scenario.add_proxy("proxy-late"),
+                               scenario.connect_all()))
+    sim.run(until=120.0)
+    assert scenario.total_satisfied() == 10
+    assert scenario.proxies["proxy-late"].handled > 0
+
+
+def test_failed_proxy_replaced_without_client_perturbation():
+    sim, net, scenario = make_scenario(clients=1, proxies=1)
+    client = scenario.clients["client0"]
+    urls = [f"http://site/{i}" for i in range(6)]
+    sim.spawn(client.browse(urls, think_time=2.0))
+
+    def kill_and_replace():
+        scenario.proxies["proxy0"].stop()
+        net.visibility.set_up("proxy0", False)
+        scenario.add_proxy("proxy-replacement")
+        scenario.connect_all()
+
+    sim.schedule(5.0, kill_and_replace)
+    sim.run(until=200.0)
+    assert client.satisfied == 6
+    assert client.failed == 0
+    assert scenario.proxies["proxy-replacement"].handled > 0
+
+
+def test_disconnected_client_served_after_reconnect():
+    """Requests made with no server visible are served once one appears."""
+    sim, net, scenario = make_scenario(clients=1, proxies=1)
+    client = scenario.clients["client0"]
+    net.visibility.isolate("client0")  # between networks
+    process = sim.spawn(client.fetch("http://queued/"))
+    sim.run(until=3.0)
+    assert not process.triggered  # request parked in the local space
+    net.visibility.set_visible("client0", "proxy0")
+    sim.run(until=60.0)
+    assert process.triggered and process.value is not None
+    assert client.satisfied == 1
+
+
+def test_disconnected_request_lost_when_lease_expires():
+    """The flip side: an expired request lease means no service (2.5)."""
+    sim, net, scenario = make_scenario(clients=1, proxies=1)
+    client = scenario.clients["client0"]
+    client.request_lease = 5.0
+    client.response_wait = 8.0
+    net.visibility.isolate("client0")
+    process = sim.spawn(client.fetch("http://too-late/"))
+    # Reconnect only after the request tuple's lease has expired.
+    sim.schedule(6.0, net.visibility.set_visible, "client0", "proxy0", True)
+    sim.run(until=60.0)
+    assert process.triggered and process.value is None
+    assert client.failed == 1
+
+
+def test_fabric_is_deterministic():
+    fabric = OriginFabric()
+    assert fabric.page_for("http://x/") == fabric.page_for("http://x/")
+    assert fabric.fetches == 2

@@ -1,0 +1,83 @@
+"""Tests for the centralized client/server baseline (TSpaces/JavaSpaces style)."""
+
+import pytest
+
+from repro.baselines import build_central_system
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+
+@pytest.fixture()
+def system():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    server, clients = build_central_system(sim, net, ["c1", "c2"])
+    net.visibility.connect_clique(["server", "c1", "c2"])
+    return sim, net, server, clients
+
+
+def test_out_then_rdp_through_server(system):
+    sim, net, server, clients = system
+    clients["c1"].out(Tuple("x", 1))
+    sim.run(until=1.0)  # let the deposit land before probing
+    op = clients["c2"].rdp(Pattern("x", int))
+    sim.run(until=5.0)
+    assert op.result == Tuple("x", 1)
+    assert server.space.count(Pattern("x", int)) == 1
+
+
+def test_inp_consumes_at_server(system):
+    sim, net, server, clients = system
+    clients["c1"].out(Tuple("x", 1))
+    sim.run(until=1.0)
+    op = clients["c2"].inp(Pattern("x", int))
+    sim.run(until=5.0)
+    assert op.result == Tuple("x", 1)
+    assert server.space.count(Pattern("x", int)) == 0
+
+
+def test_blocking_in_waits_at_server(system):
+    sim, net, server, clients = system
+    op = clients["c2"].in_(Pattern("later"), timeout=20.0)
+    sim.schedule(3.0, clients["c1"].out, Tuple("later"))
+    sim.run(until=10.0)
+    assert op.result == Tuple("later")
+
+
+def test_blocking_op_times_out(system):
+    sim, net, server, clients = system
+    op = clients["c1"].rd(Pattern("never"), timeout=5.0)
+    sim.run(until=15.0)
+    assert op.done and op.result is None
+
+
+def test_unreachable_server_fails_operations(system):
+    """The paper's critique: one machine must be visible to all others."""
+    sim, net, server, clients = system
+    net.visibility.set_up("server", False)
+    op = clients["c1"].rdp(Pattern("x"))
+    sim.run(until=5.0)
+    assert op.done and op.result is None and op.error == "server unreachable"
+    clients["c1"].out(Tuple("lost"))
+    assert clients["c1"].failures_unreachable == 2
+    sim.run(until=10.0)
+    assert server.space.count(Pattern("lost")) == 0
+
+
+def test_clients_store_nothing(system):
+    sim, net, server, clients = system
+    clients["c1"].out(Tuple("x", 1))
+    sim.run(until=5.0)
+    assert clients["c1"].stored_tuples() == 0
+    assert server.space.count() == 1
+
+
+def test_exactly_once_between_competing_clients(system):
+    sim, net, server, clients = system
+    clients["c1"].out(Tuple("prize"))
+    op1 = clients["c1"].in_(Pattern("prize"), timeout=10.0)
+    op2 = clients["c2"].in_(Pattern("prize"), timeout=10.0)
+    sim.run(until=20.0)
+    winners = [op for op in (op1, op2) if op.result is not None]
+    assert len(winners) == 1

@@ -1,0 +1,219 @@
+"""Deeper baseline protocol coverage: waits, queues, and partial failures."""
+
+import pytest
+
+from repro.baselines import (
+    build_corelime_system,
+    build_lime_system,
+    build_limbo_system,
+    build_peers_system,
+)
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Formal, Pattern, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Limbo
+# ---------------------------------------------------------------------------
+def test_limbo_blocking_take_of_foreign_tuple_after_wait():
+    """A blocking in() waits for replication, then transfers ownership."""
+    sim = Simulator(seed=91)
+    net = Network(sim)
+    nodes, _ = build_limbo_system(sim, net, ["owner", "taker"])
+    net.visibility.set_visible("owner", "taker")
+    op = nodes["taker"].in_(Pattern("late", int), timeout=20.0)
+    sim.schedule(3.0, nodes["owner"].out, Tuple("late", 5))
+    sim.run(until=30.0)
+    assert op.result == Tuple("late", 5)
+    for node in nodes.values():
+        assert node.space.count(Pattern("late", int)) == 0
+
+
+def test_limbo_transfer_changes_owner_for_future_ops():
+    sim = Simulator(seed=92)
+    net = Network(sim)
+    nodes, _ = build_limbo_system(sim, net, ["a", "b", "c"])
+    net.visibility.connect_clique(["a", "b", "c"])
+    nodes["a"].out(Tuple("deed", 1))
+    nodes["a"].out(Tuple("deed", 2))
+    sim.run(until=2.0)
+    # b takes deed 1 via transfer; the OTHER deed stays owned by a.
+    op = nodes["b"].inp(Pattern("deed", 1))
+    sim.run(until=5.0)
+    assert op.result == Tuple("deed", 1)
+    # a can still remove its remaining tuple without any transfer.
+    before = net.stats.total_messages
+    op2 = nodes["a"].inp(Pattern("deed", 2))
+    assert op2.result == Tuple("deed", 2)
+    # owner-removal needs no transfer roundtrip (only the remove multicast).
+    assert net.stats.total_messages - before <= 1
+
+
+def test_limbo_duplicate_insert_suppressed():
+    """Sync data arriving twice must not duplicate replica entries."""
+    sim = Simulator(seed=93)
+    net = Network(sim)
+    nodes, _ = build_limbo_system(sim, net, ["a", "b"])
+    net.visibility.set_visible("a", "b")
+    nodes["a"].out(Tuple("once"))
+    sim.run(until=2.0)
+    # Re-trigger a sync by flapping the edge.
+    net.visibility.set_visible("a", "b", False)
+    net.visibility.set_visible("a", "b", True)
+    sim.run(until=5.0)
+    assert nodes["b"].space.count(Pattern("once")) == 1
+
+
+def test_limbo_removed_tuple_not_resurrected_by_sync():
+    sim = Simulator(seed=94)
+    net = Network(sim)
+    nodes, _ = build_limbo_system(sim, net, ["a", "b"])
+    net.visibility.set_visible("a", "b")
+    nodes["a"].out(Tuple("gone"))
+    sim.run(until=2.0)
+    nodes["a"].inp(Pattern("gone"))
+    sim.run(until=4.0)
+    net.visibility.set_visible("a", "b", False)
+    net.visibility.set_visible("a", "b", True)
+    sim.run(until=8.0)
+    assert nodes["a"].space.count(Pattern("gone")) == 0
+    assert nodes["b"].space.count(Pattern("gone")) == 0
+
+
+# ---------------------------------------------------------------------------
+# LIME
+# ---------------------------------------------------------------------------
+def test_lime_ops_queued_during_disengage_run_after():
+    sim = Simulator(seed=95)
+    net = Network(sim)
+    fed, hosts = build_lime_system(sim, net, ["h0", "h1", "h2"])
+    net.visibility.connect_clique(["h0", "h1", "h2"])
+    for h in hosts.values():
+        h.engage()
+    sim.run(until=10.0)
+    hosts["h0"].out(Tuple("x"))
+    sim.run(until=11.0)
+    hosts["h2"].disengage()
+    op = hosts["h1"].rdp(Pattern("x"))  # queued behind the barrier
+    assert not op.done
+    sim.run(until=20.0)
+    assert op.result == Tuple("x")
+
+
+def test_lime_reengagement_after_disengage():
+    sim = Simulator(seed=96)
+    net = Network(sim)
+    fed, hosts = build_lime_system(sim, net, ["h0", "h1"], max_hosts=6)
+    net.visibility.set_visible("h0", "h1")
+    hosts["h0"].engage()
+    hosts["h1"].engage()
+    sim.run(until=5.0)
+    hosts["h1"].disengage()
+    sim.run(until=10.0)
+    handle = hosts["h1"].engage()
+    sim.run(until=15.0)
+    assert handle.result is not None
+    assert fed.engaged_count == 2
+
+
+def test_lime_disengaged_host_keeps_private_space():
+    sim = Simulator(seed=97)
+    net = Network(sim)
+    fed, hosts = build_lime_system(sim, net, ["h0", "h1"])
+    net.visibility.set_visible("h0", "h1")
+    hosts["h0"].out(Tuple("pre-engagement"))  # lands in local space
+    hosts["h0"].engage()
+    sim.run(until=5.0)
+    # The private tuple did not migrate into the federation.
+    op = hosts["h1"].rdp(Pattern("pre-engagement"))
+    sim.run(until=6.0)
+    assert op.result is None
+    hosts["h0"].disengage()
+    sim.run(until=10.0)
+    op2 = hosts["h0"].rdp(Pattern("pre-engagement"))
+    sim.run(until=11.0)
+    assert op2.result == Tuple("pre-engagement")
+
+
+# ---------------------------------------------------------------------------
+# PeerSpaces
+# ---------------------------------------------------------------------------
+def test_peers_reply_lost_when_reverse_path_breaks():
+    """Reverse-path routing fails if an intermediate hop disappears."""
+    sim = Simulator(seed=98)
+    net = Network(sim)
+    nodes = build_peers_system(sim, net, ["origin", "mid", "holder"])
+    net.visibility.set_visible("origin", "mid")
+    net.visibility.set_visible("mid", "holder")
+    nodes["holder"].out(Tuple("far"))
+
+    # Cut the mid hop the moment the query passes through it.
+    original = net._handlers["holder"]
+
+    def cut_then_handle(msg):
+        original(msg)
+        net.visibility.set_up("mid", False)
+
+    net._handlers["holder"] = cut_then_handle
+    op = nodes["origin"].rdp(Pattern("far"))
+    sim.run(until=30.0)
+    assert op.done and op.result is None  # search lease expired
+
+
+def test_peers_duplicate_query_suppression():
+    """In a dense mesh each node processes a flooded query only once."""
+    sim = Simulator(seed=99)
+    net = Network(sim)
+    names = [f"p{i}" for i in range(5)]
+    nodes = build_peers_system(sim, net, names, default_ttl=5)
+    net.visibility.connect_clique(names)
+    op = nodes["p0"].rdp(Pattern("nothing"))
+    sim.run(until=10.0)
+    assert op.done
+    # Each non-origin node forwarded at most once despite many copies.
+    for name in names[1:]:
+        assert nodes[name].queries_forwarded <= 1
+
+
+def test_peers_concurrent_destructive_searches_unique_winners():
+    sim = Simulator(seed=100)
+    net = Network(sim)
+    names = [f"p{i}" for i in range(4)]
+    nodes = build_peers_system(sim, net, names)
+    net.visibility.connect_clique(names)
+    nodes["p3"].out(Tuple("prize"))
+    op1 = nodes["p0"].inp(Pattern("prize"))
+    op2 = nodes["p1"].inp(Pattern("prize"))
+    sim.run(until=20.0)
+    winners = [op for op in (op1, op2) if op.result is not None]
+    assert len(winners) == 1
+    assert sum(n.stored_tuples() for n in nodes.values()) == 0
+
+
+# ---------------------------------------------------------------------------
+# CoreLime
+# ---------------------------------------------------------------------------
+def test_corelime_agent_times_out_waiting_remotely():
+    sim = Simulator(seed=101)
+    net = Network(sim)
+    hosts = build_corelime_system(sim, net, ["a", "b"])
+    net.visibility.set_visible("a", "b")
+    agent = hosts["a"].send_agent("b", "rd", Pattern("never"), timeout=3.0)
+    sim.run(until=30.0)
+    assert agent.done and agent.result is None
+
+
+def test_corelime_agent_return_lost_when_home_departs():
+    sim = Simulator(seed=102)
+    net = Network(sim)
+    hosts = build_corelime_system(sim, net, ["a", "b"])
+    net.visibility.set_visible("a", "b")
+    hosts["b"].out(Tuple("x"))
+    agent = hosts["a"].send_agent("b", "rdp", Pattern("x"), timeout=5.0)
+    net.visibility.set_up("a", False)  # home vanishes before the return leg
+    sim.run(until=30.0)
+    net.visibility.set_up("a", True)
+    sim.run(until=40.0)
+    assert agent.done and agent.result is None
+    assert hosts["a"].agents_lost == 1

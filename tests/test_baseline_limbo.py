@@ -1,0 +1,141 @@
+"""Tests for the Limbo DTS baseline: replication, ownership, anomalies."""
+
+import pytest
+
+from repro.baselines import build_limbo_system
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+
+@pytest.fixture()
+def system():
+    sim = Simulator(seed=4)
+    net = Network(sim)
+    nodes, oracle = build_limbo_system(sim, net, ["a", "b", "c"])
+    net.visibility.connect_clique(["a", "b", "c"])
+    return sim, net, nodes, oracle
+
+
+def test_out_replicates_to_group(system):
+    sim, net, nodes, _ = system
+    nodes["a"].out(Tuple("x", 1))
+    sim.run(until=2.0)
+    for node in nodes.values():
+        assert node.space.count(Pattern("x", int)) == 1
+
+
+def test_rd_is_purely_local(system):
+    sim, net, nodes, _ = system
+    nodes["a"].out(Tuple("x", 1))
+    sim.run(until=2.0)
+    before = net.stats.total_messages
+    op = nodes["b"].rdp(Pattern("x", int))
+    assert op.result == Tuple("x", 1)
+    assert net.stats.total_messages == before  # replica read: no traffic
+
+
+def test_owner_take_removes_everywhere(system):
+    sim, net, nodes, _ = system
+    nodes["a"].out(Tuple("x", 1))
+    sim.run(until=2.0)
+    op = nodes["a"].inp(Pattern("x", int))
+    assert op.result == Tuple("x", 1)
+    sim.run(until=4.0)
+    for node in nodes.values():
+        assert node.space.count(Pattern("x", int)) == 0
+
+
+def test_non_owner_take_requires_transfer(system):
+    sim, net, nodes, _ = system
+    nodes["a"].out(Tuple("x", 1))
+    sim.run(until=2.0)
+    op = nodes["b"].inp(Pattern("x", int))
+    sim.run(until=5.0)
+    assert op.result == Tuple("x", 1)
+    for node in nodes.values():
+        assert node.space.count(Pattern("x", int)) == 0
+
+
+def test_non_owner_take_fails_when_owner_invisible(system):
+    """Ownership breaks the identity/space decoupling (section 4.3)."""
+    sim, net, nodes, _ = system
+    nodes["a"].out(Tuple("x", 1))
+    sim.run(until=2.0)
+    net.visibility.set_up("a", False)
+    op = nodes["b"].inp(Pattern("x", int))
+    sim.run(until=10.0)
+    assert op.result is None
+    assert nodes["b"].transfer_failures == 1
+    # The tuple is stuck in b's (and c's) replica: an orphan.
+    assert nodes["b"].orphaned_tuples({"a"}) == 1
+
+
+def test_disconnected_replica_still_reads_removed_tuple(system):
+    """The paper's stale-read anomaly: removal not seen while disconnected."""
+    sim, net, nodes, oracle = system
+    nodes["a"].out(Tuple("x", 1))
+    sim.run(until=2.0)
+    # c disconnects, then a (the owner) removes the tuple.
+    net.visibility.isolate("c")
+    op = nodes["a"].inp(Pattern("x", int))
+    sim.run(until=4.0)
+    assert op.result == Tuple("x", 1)
+    # c still sees it: a read that traditional Linda semantics forbid.
+    stale = nodes["c"].rdp(Pattern("x", int))
+    assert stale.result == Tuple("x", 1)
+    assert nodes["c"].stale_reads == 1
+
+
+def test_reconnect_sync_fetches_missed_inserts(system):
+    sim, net, nodes, _ = system
+    net.visibility.isolate("c")
+    nodes["a"].out(Tuple("while-away", 1))
+    sim.run(until=2.0)
+    assert nodes["c"].space.count(Pattern("while-away", int)) == 0
+    net.visibility.set_visible("c", "a")
+    sim.run(until=5.0)
+    assert nodes["c"].space.count(Pattern("while-away", int)) == 1
+
+
+def test_reconnect_sync_applies_missed_removals(system):
+    sim, net, nodes, _ = system
+    nodes["a"].out(Tuple("x", 1))
+    sim.run(until=2.0)
+    net.visibility.isolate("c")
+    nodes["a"].inp(Pattern("x", int))
+    sim.run(until=4.0)
+    assert nodes["c"].space.count(Pattern("x", int)) == 1  # stale
+    net.visibility.set_visible("c", "b")
+    sim.run(until=8.0)
+    assert nodes["c"].space.count(Pattern("x", int)) == 0  # repaired
+
+
+def test_disconnected_out_propagates_after_reconnect(system):
+    """Disconnected clients can out as normal; peers learn on reconnect."""
+    sim, net, nodes, _ = system
+    net.visibility.isolate("c")
+    nodes["c"].out(Tuple("offline-note"))
+    sim.run(until=2.0)
+    assert nodes["a"].space.count(Pattern("offline-note")) == 0
+    net.visibility.set_visible("c", "a")
+    sim.run(until=5.0)
+    assert nodes["a"].space.count(Pattern("offline-note")) == 1
+
+
+def test_blocking_in_waits_for_replicated_tuple(system):
+    sim, net, nodes, _ = system
+    op = nodes["b"].in_(Pattern("later"), timeout=20.0)
+    sim.schedule(3.0, nodes["b"].out, Tuple("later"))
+    sim.run(until=10.0)
+    assert op.result == Tuple("later")
+
+
+def test_replication_storage_burden(system):
+    """Every participant pays full-replica storage (section 4.3)."""
+    sim, net, nodes, _ = system
+    for i in range(20):
+        nodes["a"].out(Tuple("bulk", i))
+    sim.run(until=5.0)
+    for node in nodes.values():
+        assert node.stored_tuples() == 20

@@ -1,0 +1,276 @@
+"""Tests for the LIME, CoreLime, and PeerSpaces baselines."""
+
+import pytest
+
+from repro.baselines import (
+    build_corelime_system,
+    build_lime_system,
+    build_peers_system,
+)
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+
+# ---------------------------------------------------------------------------
+# LIME
+# ---------------------------------------------------------------------------
+def lime_system(n=3, max_hosts=6):
+    sim = Simulator(seed=5)
+    net = Network(sim)
+    names = [f"h{i}" for i in range(n)]
+    federation, hosts = build_lime_system(sim, net, names, max_hosts=max_hosts)
+    net.visibility.connect_clique(names)
+    return sim, net, federation, hosts
+
+
+def test_lime_engaged_hosts_share_space():
+    sim, net, fed, hosts = lime_system()
+    hosts["h0"].engage()
+    hosts["h1"].engage()
+    sim.run(until=5.0)
+    hosts["h0"].out(Tuple("shared", 1))
+    op = hosts["h1"].rdp(Pattern("shared", int))
+    sim.run(until=6.0)
+    assert op.result == Tuple("shared", 1)
+
+
+def test_lime_disengaged_host_sees_only_local():
+    sim, net, fed, hosts = lime_system()
+    hosts["h0"].engage()
+    sim.run(until=5.0)
+    hosts["h0"].out(Tuple("federated"))
+    hosts["h1"].out(Tuple("private"))  # h1 never engaged
+    op = hosts["h1"].rdp(Pattern("federated"))
+    sim.run(until=6.0)
+    assert op.result is None
+    op2 = hosts["h1"].rdp(Pattern("private"))
+    sim.run(until=7.0)
+    assert op2.result == Tuple("private")
+
+
+def test_lime_engagement_blocks_operations():
+    """Atomic engagement: other ops cannot proceed meanwhile (4.4)."""
+    sim, net, fed, hosts = lime_system()
+    hosts["h0"].engage()
+    sim.run(until=5.0)
+    hosts["h0"].out(Tuple("x"))
+    sim.run(until=6.0)
+    # Start a slow engagement, then immediately issue an op: it must queue.
+    hosts["h1"].engage()
+    op = hosts["h0"].rdp(Pattern("x"))
+    assert not op.done  # blocked behind the engagement barrier
+    assert fed.ops_blocked_by_engagement == 1
+    sim.run(until=10.0)
+    assert op.result == Tuple("x")
+
+
+def test_lime_engagement_cost_grows_with_size():
+    sim, net, fed, hosts = lime_system(n=6)
+    times = []
+    for i in range(4):
+        start = sim.now
+        handle = hosts[f"h{i}"].engage()
+        sim.run(until=sim.now + 30.0)
+        assert handle.done
+        times.append(sim.peek() or sim.now)
+        # engagement completion time grows with membership
+    assert fed.engagements == 4
+
+
+def test_lime_federation_capacity_wall():
+    """The reported >6-host failure (Carbunar et al., cited in 4.4)."""
+    sim, net, fed, hosts = lime_system(n=8, max_hosts=6)
+    handles = []
+    for i in range(8):
+        handles.append(hosts[f"h{i}"].engage())
+        sim.run(until=sim.now + 10.0)
+    succeeded = [h for h in handles if h.result is not None]
+    failed = [h for h in handles if h.result is None]
+    assert len(succeeded) == 6 and len(failed) == 2
+    assert fed.engagement_failures == 2
+
+
+def test_lime_disengage_shrinks_federation():
+    sim, net, fed, hosts = lime_system()
+    hosts["h0"].engage()
+    hosts["h1"].engage()
+    sim.run(until=5.0)
+    assert fed.engaged_count == 2
+    hosts["h1"].disengage()
+    sim.run(until=10.0)
+    assert fed.engaged_count == 1
+    assert not hosts["h1"].engaged
+
+
+def test_lime_blocking_in_with_timeout():
+    sim, net, fed, hosts = lime_system()
+    hosts["h0"].engage()
+    hosts["h1"].engage()
+    sim.run(until=5.0)
+    op = hosts["h1"].in_(Pattern("later"), timeout=20.0)
+    sim.schedule(8.0, hosts["h0"].out, Tuple("later"))
+    sim.run(until=15.0)
+    assert op.result == Tuple("later")
+
+
+# ---------------------------------------------------------------------------
+# CoreLime
+# ---------------------------------------------------------------------------
+def corelime_system():
+    sim = Simulator(seed=6)
+    net = Network(sim)
+    hosts = build_corelime_system(sim, net, ["a", "b"])
+    net.visibility.set_visible("a", "b")
+    return sim, net, hosts
+
+
+def test_corelime_ops_are_local_only():
+    sim, net, hosts = corelime_system()
+    hosts["b"].out(Tuple("remote-only"))
+    op = hosts["a"].rdp(Pattern("remote-only"))
+    assert op.done and op.result is None  # no remote communication at all
+    assert net.stats.total_messages == 0
+
+
+def test_corelime_agent_performs_remote_rdp():
+    sim, net, hosts = corelime_system()
+    hosts["b"].out(Tuple("remote", 1))
+    agent = hosts["a"].send_agent("b", "rdp", Pattern("remote", int))
+    sim.run(until=5.0)
+    assert agent.result == Tuple("remote", 1)
+    assert hosts["a"].agents_sent == 1
+
+
+def test_corelime_agent_performs_remote_in():
+    sim, net, hosts = corelime_system()
+    hosts["b"].out(Tuple("remote", 1))
+    agent = hosts["a"].send_agent("b", "in", Pattern("remote", int))
+    sim.run(until=5.0)
+    assert agent.result == Tuple("remote", 1)
+    assert hosts["b"].space.count(Pattern("remote", int)) == 0
+
+
+def test_corelime_agent_out_deposits_remotely():
+    sim, net, hosts = corelime_system()
+    agent = hosts["a"].send_agent("b", "out", tup=Tuple("delivered"))
+    sim.run(until=5.0)
+    assert agent.done
+    assert hosts["b"].space.count(Pattern("delivered")) == 1
+
+
+def test_corelime_agent_fails_when_destination_invisible():
+    sim, net, hosts = corelime_system()
+    net.visibility.set_visible("a", "b", False)
+    agent = hosts["a"].send_agent("b", "rdp", Pattern("x"))
+    assert agent.done and agent.result is None
+    assert hosts["a"].agents_lost == 1
+
+
+def test_corelime_agent_migration_is_expensive():
+    """Agent code travels both ways: far more bytes than a Tiamat query."""
+    sim, net, hosts = corelime_system()
+    hosts["b"].out(Tuple("x"))
+    hosts["a"].send_agent("b", "rdp", Pattern("x"))
+    sim.run(until=5.0)
+    assert net.stats.total_bytes > 2 * 2048
+
+
+def test_corelime_agent_blocking_waits_then_returns():
+    sim, net, hosts = corelime_system()
+    agent = hosts["a"].send_agent("b", "rd", Pattern("later"), timeout=10.0)
+    sim.schedule(3.0, hosts["b"].out, Tuple("later"))
+    sim.run(until=8.0)
+    assert agent.result == Tuple("later")
+
+
+# ---------------------------------------------------------------------------
+# PeerSpaces
+# ---------------------------------------------------------------------------
+def peers_system(n=4, ttl=4):
+    sim = Simulator(seed=7)
+    net = Network(sim)
+    names = [f"p{i}" for i in range(n)]
+    nodes = build_peers_system(sim, net, names, default_ttl=ttl)
+    return sim, net, nodes, names
+
+
+def test_peers_flooding_finds_tuple_in_clique():
+    sim, net, nodes, names = peers_system()
+    net.visibility.connect_clique(names)
+    nodes["p3"].out(Tuple("somewhere", 1))
+    op = nodes["p0"].rdp(Pattern("somewhere", int))
+    sim.run(until=5.0)
+    assert op.result == Tuple("somewhere", 1)
+
+
+def test_peers_flooding_traverses_multihop_chain():
+    sim, net, nodes, names = peers_system()
+    for a, b in zip(names, names[1:]):
+        net.visibility.set_visible(a, b)
+    nodes["p3"].out(Tuple("far"))
+    op = nodes["p0"].rdp(Pattern("far"))
+    sim.run(until=5.0)
+    assert op.result == Tuple("far")
+    assert nodes["p1"].queries_forwarded >= 1
+
+
+def test_peers_ttl_bounds_search_radius():
+    sim, net, nodes, names = peers_system(n=4, ttl=2)
+    for a, b in zip(names, names[1:]):
+        net.visibility.set_visible(a, b)
+    nodes["p3"].out(Tuple("too-far"))
+    op = nodes["p0"].rdp(Pattern("too-far"))
+    sim.run(until=10.0)
+    assert op.result is None  # 3 hops needed, TTL allows 2
+
+
+def test_peers_destructive_search_consumes_exactly_once():
+    sim, net, nodes, names = peers_system()
+    net.visibility.connect_clique(names)
+    nodes["p2"].out(Tuple("prize"))
+    op = nodes["p0"].inp(Pattern("prize"))
+    sim.run(until=10.0)
+    assert op.result == Tuple("prize")
+    assert sum(n.stored_tuples() for n in nodes.values()) == 0
+
+
+def test_peers_blocking_in_refloods_until_found():
+    sim, net, nodes, names = peers_system()
+    net.visibility.connect_clique(names)
+    op = nodes["p0"].in_(Pattern("later"), timeout=20.0)
+    sim.schedule(3.0, nodes["p2"].out, Tuple("later"))
+    sim.run(until=15.0)
+    assert op.result == Tuple("later")
+
+
+def test_peers_search_lease_is_fault_tolerance_only():
+    sim, net, nodes, names = peers_system()
+    net.visibility.connect_clique(names)
+    op = nodes["p0"].rdp(Pattern("nothing"))
+    sim.run(until=10.0)
+    assert op.done and op.error == "search lease expired"
+
+
+def test_peers_tuples_never_expire():
+    """No resource management: deposits stay forever (section 4.6)."""
+    sim, net, nodes, names = peers_system()
+    nodes["p0"].out(Tuple("immortal"))
+    sim.run(until=10_000.0)
+    assert nodes["p0"].stored_tuples() == 1
+
+
+def test_peers_flood_cost_grows_with_clique_size():
+    results = {}
+    for n in (4, 8):
+        sim = Simulator(seed=8)
+        net = Network(sim)
+        names = [f"p{i}" for i in range(n)]
+        nodes = build_peers_system(sim, net, names)
+        net.visibility.connect_clique(names)
+        nodes[names[-1]].out(Tuple("target"))
+        op = nodes[names[0]].rdp(Pattern("target"))
+        sim.run(until=10.0)
+        assert op.result is not None
+        results[n] = net.stats.total_messages
+    assert results[8] > results[4]

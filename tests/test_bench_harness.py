@@ -1,0 +1,159 @@
+"""Unit tests for the bench harness: adapters, reporting, scenario builder."""
+
+import pytest
+
+from repro.bench import (
+    CoreLimeAgentAdapter,
+    Table,
+    TiamatSpaceAdapter,
+    build_system,
+    format_series,
+)
+from repro.baselines import build_corelime_system
+from repro.core import TiamatInstance
+from repro.errors import LeaseError
+from repro.leasing import DenyAllPolicy
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Table / series rendering
+# ---------------------------------------------------------------------------
+def test_table_render_alignment():
+    table = Table("demo", ["col", "value"], caption="a caption")
+    table.add_row("short", 1)
+    table.add_row("much-longer-cell", 3.14159)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "== demo =="
+    assert lines[1] == "a caption"
+    assert "col" in lines[2] and "value" in lines[2]
+    assert "3.14" in text
+    # All data lines share one width.
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_table_float_formatting():
+    table = Table("t", ["x"])
+    table.add_row(0.123456789)
+    assert "0.123" in table.render()
+
+
+def test_table_show_prints(capsys):
+    table = Table("printed", ["a"])
+    table.add_row(1)
+    table.show()
+    assert "printed" in capsys.readouterr().out
+
+
+def test_format_series():
+    line = format_series("speedup", [(1, 1.0), (2, 1.91)])
+    assert line == "speedup: (1, 1) (2, 1.91)"
+
+
+# ---------------------------------------------------------------------------
+# Tiamat adapter
+# ---------------------------------------------------------------------------
+def test_tiamat_adapter_roundtrip():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    a = TiamatSpaceAdapter(TiamatInstance(sim, net, "a"))
+    b = TiamatSpaceAdapter(TiamatInstance(sim, net, "b"))
+    net.visibility.set_visible("a", "b")
+    a.out(Tuple("x", 1))
+    op = b.in_(Pattern("x", int), timeout=10.0)
+    sim.run(until=20.0)
+    assert op.result == Tuple("x", 1)
+    assert op.error is None
+
+
+def test_tiamat_adapter_timeout_maps_to_lease():
+    sim = Simulator(seed=2)
+    net = Network(sim)
+    a = TiamatSpaceAdapter(TiamatInstance(sim, net, "a"))
+    op = a.in_(Pattern("never"), timeout=3.0)
+    sim.run(until=2.0)
+    assert not op.done
+    sim.run(until=5.0)
+    assert op.done and op.result is None and op.error == "lease expired"
+
+
+def test_tiamat_adapter_stored_excludes_space_info():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    a = TiamatSpaceAdapter(TiamatInstance(sim, net, "a"))
+    assert a.stored_tuples() == 0
+    a.out(Tuple("x"))
+    assert a.stored_tuples() == 1
+
+
+def test_tiamat_adapter_swallows_refused_deposits():
+    sim = Simulator(seed=4)
+    net = Network(sim)
+    a = TiamatSpaceAdapter(TiamatInstance(sim, net, "a", policy=DenyAllPolicy()))
+    a.out(Tuple("x"))  # must not raise
+    assert a.stored_tuples() <= 1
+
+
+# ---------------------------------------------------------------------------
+# CoreLime agent adapter
+# ---------------------------------------------------------------------------
+def test_corelime_adapter_tours_peers():
+    sim = Simulator(seed=5)
+    net = Network(sim)
+    hosts = build_corelime_system(sim, net, ["a", "b", "c"])
+    net.visibility.connect_clique(["a", "b", "c"])
+    adapters = {n: CoreLimeAgentAdapter(h, ["a", "b", "c"])
+                for n, h in hosts.items()}
+    hosts["c"].out(Tuple("hidden", 1))
+    op = adapters["a"].inp(Pattern("hidden", int))
+    sim.run(until=10.0)
+    assert op.result == Tuple("hidden", 1)
+    assert hosts["c"].space.count(Pattern("hidden", int)) == 0
+
+
+def test_corelime_adapter_blocking_retries():
+    sim = Simulator(seed=6)
+    net = Network(sim)
+    hosts = build_corelime_system(sim, net, ["a", "b"])
+    net.visibility.set_visible("a", "b")
+    adapters = {n: CoreLimeAgentAdapter(h, ["a", "b"]) for n, h in hosts.items()}
+    op = adapters["a"].in_(Pattern("later"), timeout=20.0)
+    sim.schedule(5.0, hosts["b"].out, Tuple("later"))
+    sim.run(until=30.0)
+    assert op.result == Tuple("later")
+
+
+def test_corelime_adapter_times_out():
+    sim = Simulator(seed=7)
+    net = Network(sim)
+    hosts = build_corelime_system(sim, net, ["a", "b"])
+    net.visibility.set_visible("a", "b")
+    adapter = CoreLimeAgentAdapter(hosts["a"], ["a", "b"])
+    op = adapter.rd(Pattern("never"), timeout=5.0)
+    sim.run(until=30.0)
+    assert op.done and op.result is None
+
+
+# ---------------------------------------------------------------------------
+# build_system
+# ---------------------------------------------------------------------------
+def test_build_system_central_has_extra_server():
+    sim, net, nodes = build_system("central", 3)
+    assert set(nodes) == {"n0", "n1", "n2"}
+    assert net.visibility.is_up("server")
+
+
+def test_build_system_lime_engages_up_to_capacity():
+    sim, net, nodes = build_system("lime", 8)
+    sim.run(until=20.0)
+    engaged = sum(1 for h in nodes.values() if h.engaged)
+    assert engaged == 6
+
+
+def test_build_system_disconnected_option():
+    sim, net, nodes = build_system("tiamat", 3, connect=False)
+    assert net.visibility.neighbors("n0") == []

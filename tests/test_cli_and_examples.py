@@ -1,0 +1,75 @@
+"""Smoke tests: the CLI subcommands and every example script run clean."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_cli_quickstart(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "bob consumed" in out
+
+
+def test_cli_demo(capsys):
+    assert main(["--seed", "3", "demo", "--nodes", "4",
+                 "--duration", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "success rate" in out
+
+
+def test_cli_compare(capsys):
+    assert main(["compare", "--systems", "tiamat,peers", "--nodes", "4",
+                 "--duration", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "tiamat" in out and "peers" in out
+
+
+def test_cli_compare_rejects_unknown_system(capsys):
+    assert main(["compare", "--systems", "nonsense"]) == 2
+
+
+def test_cli_trace(capsys):
+    assert main(["trace"]) == 0
+    out = capsys.readouterr().out
+    assert "query_reply" in out
+    assert "claim_accept" in out
+
+
+def test_cli_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+# ---------------------------------------------------------------------------
+# Examples (run as scripts; they must complete without exceptions)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "web_proxy_demo.py",
+    "fractal_farm.py",
+    "pervasive_campus.py",
+    "threaded_workers.py",
+    "persistence_powercycle.py",
+    "service_discovery.py",
+])
+def test_example_runs_clean(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

@@ -1,0 +1,84 @@
+"""Tests for configuration validation and protocol constants."""
+
+import pytest
+
+from repro.core import TiamatConfig
+from repro.core import protocol
+from repro.leasing import LeaseTerms, OperationKind
+
+
+# ---------------------------------------------------------------------------
+# TiamatConfig
+# ---------------------------------------------------------------------------
+def test_config_defaults():
+    config = TiamatConfig()
+    assert config.propagate_mode == "start"  # the paper's prototype
+    assert config.comms_strategy == "mru"
+    assert config.peer_timeout > 0
+    assert config.discover_window > 0
+    assert config.claim_timeout > 0
+
+
+def test_config_rejects_bad_propagate_mode():
+    with pytest.raises(ValueError):
+        TiamatConfig(propagate_mode="sometimes")
+
+
+def test_config_rejects_bad_comms_strategy():
+    with pytest.raises(ValueError):
+        TiamatConfig(comms_strategy="carrier-pigeon")
+
+
+def test_config_default_terms_cover_all_operations():
+    config = TiamatConfig()
+    for kind in OperationKind:
+        terms = config.default_terms(kind)
+        assert isinstance(terms, LeaseTerms)
+        assert terms.duration is not None  # no unbounded defaults
+
+
+def test_config_blocking_defaults_have_remote_budget():
+    config = TiamatConfig()
+    for kind in (OperationKind.IN, OperationKind.RD,
+                 OperationKind.INP, OperationKind.RDP):
+        assert config.default_terms(kind).max_remotes is not None
+
+
+def test_config_deposit_defaults_longer_than_probes():
+    config = TiamatConfig()
+    assert (config.default_terms(OperationKind.OUT).duration
+            > config.default_terms(OperationKind.RDP).duration)
+
+
+def test_operation_kind_classification():
+    assert OperationKind.OUT.is_deposit and OperationKind.EVAL.is_deposit
+    assert not OperationKind.IN.is_deposit
+    assert OperationKind.IN.is_blocking and OperationKind.RD.is_blocking
+    assert not OperationKind.INP.is_blocking
+    assert not OperationKind.RDP.is_blocking
+    assert not OperationKind.OUT.is_blocking
+
+
+# ---------------------------------------------------------------------------
+# Protocol constants
+# ---------------------------------------------------------------------------
+def test_all_kinds_is_complete_and_unique():
+    kinds = [
+        protocol.DISCOVER, protocol.DISCOVER_ACK,
+        protocol.QUERY, protocol.QUERY_REPLY, protocol.QUERY_REFUSED,
+        protocol.CANCEL, protocol.CLAIM_ACCEPT, protocol.CLAIM_REJECT,
+        protocol.REMOTE_OUT, protocol.REMOTE_OUT_ACK, protocol.RELAY_OUT,
+    ]
+    assert len(kinds) == len(set(kinds))
+    assert protocol.ALL_KINDS == frozenset(kinds)
+
+
+def test_kind_strings_are_stable():
+    # The wire format is part of the public surface: renaming a kind is a
+    # protocol break, so pin the strings.
+    assert protocol.QUERY == "query"
+    assert protocol.QUERY_REPLY == "query_reply"
+    assert protocol.CLAIM_ACCEPT == "claim_accept"
+    assert protocol.CLAIM_REJECT == "claim_reject"
+    assert protocol.DISCOVER == "discover"
+    assert protocol.REMOTE_OUT == "remote_out"

@@ -1,0 +1,131 @@
+"""Tests for the communications manager: discovery and the known-peer list."""
+
+import pytest
+
+from repro.core import TiamatConfig, TiamatInstance
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+from tests.test_core_instance import build, run_op
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=13)
+
+
+def test_discovery_populates_known_list(sim):
+    net, inst = build(sim, ["a", "b", "c"])
+    event = inst["a"].comms.discover()
+    sim.run(until=1.0)
+    assert event.triggered
+    assert sorted(event.value) == ["b", "c"]
+    assert sorted(inst["a"].comms.known) == ["b", "c"]
+
+
+def test_discovery_reports_only_fresh_responders(sim):
+    net, inst = build(sim, ["a", "b", "c"])
+    inst["a"].comms.note_alive("b")
+    event = inst["a"].comms.discover()
+    sim.run(until=1.0)
+    assert event.value == ["c"]  # b was already known
+
+
+def test_discovery_with_no_neighbors(sim):
+    net, inst = build(sim, ["a"], clique=False)
+    event = inst["a"].comms.discover()
+    sim.run(until=1.0)
+    assert event.value == []
+
+
+def test_note_alive_appends_to_bottom(sim):
+    net, inst = build(sim, ["a", "b", "c"])
+    comms = inst["a"].comms
+    comms.note_alive("b")
+    comms.note_alive("c")
+    comms.note_alive("b")  # duplicate ignored
+    assert comms.plan() == ["b", "c"]
+
+
+def test_note_alive_ignores_self(sim):
+    net, inst = build(sim, ["a"])
+    inst["a"].comms.note_alive("a")
+    assert inst["a"].comms.plan() == []
+
+
+def test_note_dead_removes(sim):
+    net, inst = build(sim, ["a", "b"])
+    comms = inst["a"].comms
+    comms.note_alive("b")
+    comms.note_dead("b")
+    assert comms.plan() == []
+    assert comms.removals == 1
+
+
+def test_consistently_visible_peers_rise_to_top(sim):
+    """3.1.3: stable instances work their way to the top of the list."""
+    net, inst = build(sim, ["origin", "flaky", "stable"])
+    comms = inst["origin"].comms
+    # Initial discovery order puts flaky first.
+    comms.note_alive("flaky")
+    comms.note_alive("stable")
+    assert comms.plan() == ["flaky", "stable"]
+    # flaky disappears; a probe removes it; then it comes back and responds
+    # again -> appended at the bottom, stable now on top.
+    net.visibility.set_up("flaky", False)
+    op = inst["origin"].rdp(Pattern("anything"))
+    run_op(sim, op, until=10.0)
+    assert comms.plan()[0] == "stable"
+    net.visibility.set_up("flaky", True)
+    op2 = inst["origin"].rdp(Pattern("anything"))
+    run_op(sim, op2, until=20.0)
+    assert comms.plan() == ["stable", "flaky"]
+
+
+def test_mru_strategy_avoids_multicast_when_list_satisfies(sim):
+    net, inst = build(sim, ["a", "b"], config=TiamatConfig(comms_strategy="mru"))
+    inst["b"].out(Tuple("x", 1))
+    # Seed the list via one discovery-backed op.
+    run_op(sim, inst["a"].rdp(Pattern("x", int)), until=5.0)
+    multicasts_before = inst["a"].comms.multicasts
+    for _ in range(5):
+        op = inst["a"].rdp(Pattern("x", int))
+        run_op(sim, op, until=sim.now + 5.0)
+        assert op.result == Tuple("x", 1)
+    assert inst["a"].comms.multicasts == multicasts_before  # list was enough
+
+
+def test_multicast_strategy_discovers_every_operation(sim):
+    net, inst = build(sim, ["a", "b"],
+                      config=TiamatConfig(comms_strategy="multicast"))
+    inst["b"].out(Tuple("x", 1))
+    for expected in (1, 2, 3):
+        run_op(sim, inst["a"].rdp(Pattern("x", int)), until=sim.now + 5.0)
+        assert inst["a"].comms.multicasts == expected
+
+
+def test_mru_falls_back_to_multicast_when_unsatisfied(sim):
+    net, inst = build(sim, ["a", "b", "newcomer"], clique=False)
+    net.visibility.set_visible("a", "b")
+    # Known list contains only b (no match there).
+    run_op(sim, inst["a"].rdp(Pattern("x")), until=5.0)
+    assert inst["a"].comms.plan() == ["b"]
+    # newcomer appears with the tuple; the next probe exhausts the list and
+    # multicasts to find it.
+    net.visibility.set_visible("a", "newcomer")
+    inst["newcomer"].out(Tuple("x"))
+    op = inst["a"].rdp(Pattern("x"))
+    result = run_op(sim, op, until=15.0)
+    assert result == Tuple("x")
+    assert op.source == "newcomer"
+    assert "newcomer" in inst["a"].comms.plan()
+
+
+def test_query_reply_marks_peer_alive(sim):
+    net, inst = build(sim, ["a", "b"])
+    inst["b"].out(Tuple("x"))
+    run_op(sim, inst["a"].rdp(Pattern("x")), until=5.0)
+    assert "b" in inst["a"].comms.plan()
+    # And symmetric: b learned about a from the query itself.
+    assert "a" in inst["b"].comms.plan()

@@ -1,0 +1,300 @@
+"""Integration tests for TiamatInstance: the six ops over logical spaces."""
+
+import pytest
+
+from repro.core import TiamatConfig, TiamatInstance
+from repro.errors import LeaseRefusedError
+from repro.leasing import DenyAllPolicy, LeaseTerms, SimpleLeaseRequester
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+
+def build(sim, names, config=None, clique=True, **kwargs):
+    net = Network(sim)
+    instances = {
+        name: TiamatInstance(sim, net, name, config=config, **kwargs)
+        for name in names
+    }
+    if clique:
+        net.visibility.connect_clique(list(names))
+    return net, instances
+
+
+def run_op(sim, op, until=None):
+    """Drive the simulator until the operation's event triggers."""
+    sim.run(until=until) if until else sim.run()
+    assert op.event.triggered, f"{op!r} never finished"
+    return op.event.value
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=42)
+
+
+# ---------------------------------------------------------------------------
+# Local semantics
+# ---------------------------------------------------------------------------
+def test_out_then_local_rdp(sim):
+    _, inst = build(sim, ["a"])
+    inst["a"].out(Tuple("x", 1))
+    op = inst["a"].rdp(Pattern("x", int))
+    assert run_op(sim, op) == Tuple("x", 1)
+    assert op.source == "a"
+
+
+def test_isolated_instance_works_alone(sim):
+    """Each node contains a local space usable even in isolation (2.2)."""
+    _, inst = build(sim, ["solo"], clique=False)
+    inst["solo"].out(Tuple("note", "self"))
+    op = inst["solo"].inp(Pattern("note", str))
+    assert run_op(sim, op) == Tuple("note", "self")
+
+
+def test_local_inp_removes(sim):
+    _, inst = build(sim, ["a"])
+    inst["a"].out(Tuple("x", 1))
+    op1 = inst["a"].inp(Pattern("x", int))
+    sim.run(until=0.01)
+    assert op1.result == Tuple("x", 1)
+    op2 = inst["a"].inp(Pattern("x", int))
+    assert run_op(sim, op2) is None
+
+
+def test_space_info_tuple_present(sim):
+    from repro.core import SPACE_INFO_PATTERN, SpaceHandle
+
+    _, inst = build(sim, ["a"])
+    tup = inst["a"].space.rdp(SPACE_INFO_PATTERN)
+    assert tup is not None
+    handle = SpaceHandle.from_tuple(tup)
+    assert handle.instance_name == "a"
+
+
+def test_refused_lease_means_no_work(sim):
+    """Figure 2: 'If a lease is refused, no further work is carried out.'"""
+    _, inst = build(sim, ["a"], policy=DenyAllPolicy())
+    with pytest.raises(LeaseRefusedError):
+        inst["a"].out(Tuple("x", 1))
+    # Nothing got stored and nothing hit the network.
+    assert inst["a"].space.count(Pattern("x", int)) == 0
+    with pytest.raises(LeaseRefusedError):
+        inst["a"].rd(Pattern("x", int))
+    assert inst["a"].ops_started == 0
+
+
+# ---------------------------------------------------------------------------
+# Remote: blocking rd / in
+# ---------------------------------------------------------------------------
+def test_rd_finds_remote_tuple(sim):
+    net, inst = build(sim, ["a", "b"])
+    inst["a"].out(Tuple("greeting", "hello"))
+    op = inst["b"].rd(Pattern("greeting", str))
+    assert run_op(sim, op, until=5.0) == Tuple("greeting", "hello")
+    assert op.source == "a"
+    # rd is non-destructive: the tuple stays at a.
+    assert inst["a"].space.count(Pattern("greeting", str)) == 1
+
+
+def test_in_consumes_remote_tuple(sim):
+    net, inst = build(sim, ["a", "b"])
+    inst["a"].out(Tuple("job", 7))
+    op = inst["b"].in_(Pattern("job", int))
+    assert run_op(sim, op, until=5.0) == Tuple("job", 7)
+    assert inst["a"].space.count(Pattern("job", int)) == 0
+
+
+def test_blocking_rd_waits_for_future_remote_out(sim):
+    net, inst = build(sim, ["a", "b"])
+    op = inst["b"].rd(Pattern("later", int))
+    sim.schedule(3.0, inst["a"].out, Tuple("later", 5))
+    assert run_op(sim, op, until=10.0) == Tuple("later", 5)
+    assert op.source == "a"
+
+
+def test_local_match_preferred_when_present(sim):
+    net, inst = build(sim, ["a", "b"])
+    inst["b"].out(Tuple("x", "local"))
+    inst["a"].out(Tuple("x", "remote"))
+    op = inst["b"].rd(Pattern("x", str))
+    assert run_op(sim, op, until=5.0) == Tuple("x", "local")
+    assert op.source == "b"
+
+
+def test_exactly_once_consumption_two_consumers(sim):
+    """Two concurrent `in`s for one tuple: exactly one succeeds."""
+    net, inst = build(sim, ["a", "b", "c"])
+    inst["a"].out(Tuple("prize"))
+    op_b = inst["b"].in_(Pattern("prize"),
+                         requester=SimpleLeaseRequester(LeaseTerms(5.0, 8)))
+    op_c = inst["c"].in_(Pattern("prize"),
+                         requester=SimpleLeaseRequester(LeaseTerms(5.0, 8)))
+    sim.run(until=20.0)
+    winners = [op for op in (op_b, op_c) if op.result is not None]
+    assert len(winners) == 1
+    assert inst["a"].space.count(Pattern("prize")) == 0
+
+
+def test_losing_offer_put_back(sim):
+    """First responder wins; the loser's tuple goes back into its space."""
+    net, inst = build(sim, ["a", "b", "origin"])
+    inst["a"].out(Tuple("item", "from-a"))
+    inst["b"].out(Tuple("item", "from-b"))
+    op = inst["origin"].in_(Pattern("item", str))
+    result = run_op(sim, op, until=10.0)
+    assert result is not None
+    # Exactly one of the two tuples was consumed; the other was put back.
+    remaining = (inst["a"].space.count(Pattern("item", str))
+                 + inst["b"].space.count(Pattern("item", str)))
+    assert remaining == 1
+
+
+def test_blocking_in_lease_expiry_returns_none(sim):
+    """2.5: expired blocking ops stop and return nothing."""
+    net, inst = build(sim, ["a", "b"])
+    op = inst["b"].in_(Pattern("never"),
+                       requester=SimpleLeaseRequester(LeaseTerms(duration=5.0)))
+    sim.run(until=4.0)
+    assert not op.done
+    sim.run(until=6.0)
+    assert op.done and op.result is None
+    # The remote waiter at `a` was cancelled too.
+    sim.run(until=10.0)
+    assert inst["a"].server.active_servings == 0
+
+
+def test_cancelled_remote_waiter_does_not_steal_later_tuple(sim):
+    net, inst = build(sim, ["a", "b"])
+    op = inst["b"].in_(Pattern("slow"),
+                       requester=SimpleLeaseRequester(LeaseTerms(duration=2.0)))
+    sim.run(until=5.0)
+    assert op.result is None
+    inst["a"].out(Tuple("slow"))
+    sim.run(until=10.0)
+    assert inst["a"].space.count(Pattern("slow")) == 1  # not consumed
+
+
+# ---------------------------------------------------------------------------
+# Remote: probes (rdp / inp)
+# ---------------------------------------------------------------------------
+def test_rdp_samples_remote_space(sim):
+    net, inst = build(sim, ["a", "b"])
+    inst["a"].out(Tuple("data", 9))
+    op = inst["b"].rdp(Pattern("data", int))
+    assert run_op(sim, op, until=5.0) == Tuple("data", 9)
+    assert inst["a"].space.count(Pattern("data", int)) == 1
+
+
+def test_inp_takes_remote_tuple(sim):
+    net, inst = build(sim, ["a", "b"])
+    inst["a"].out(Tuple("data", 9))
+    op = inst["b"].inp(Pattern("data", int))
+    assert run_op(sim, op, until=5.0) == Tuple("data", 9)
+    sim.run(until=10.0)
+    assert inst["a"].space.count(Pattern("data", int)) == 0
+
+
+def test_probe_returns_none_when_nothing_matches_anywhere(sim):
+    net, inst = build(sim, ["a", "b", "c"])
+    op = inst["b"].rdp(Pattern("missing"))
+    assert run_op(sim, op, until=10.0) is None
+
+
+def test_probe_does_not_wait_for_future_tuples(sim):
+    """rdp/inp sample the *current* logical space only."""
+    net, inst = build(sim, ["a", "b"])
+    op = inst["b"].rdp(Pattern("future"))
+    sim.schedule(1.0, inst["a"].out, Tuple("future"))
+    sim.run(until=30.0)
+    assert op.done and op.result is None
+
+
+def test_probe_remote_budget_limits_contacts(sim):
+    """Leases denominated in remote instances contacted (2.5)."""
+    names = [f"n{i}" for i in range(10)]
+    net, inst = build(sim, ["origin"] + names)
+    # Tuple lives only at the last node contacted; budget of 2 cannot reach
+    # every peer.
+    inst[names[-1]].out(Tuple("rare"))
+    op = inst["origin"].rdp(
+        Pattern("rare"),
+        requester=SimpleLeaseRequester(LeaseTerms(duration=30.0, max_remotes=2)))
+    sim.run(until=40.0)
+    assert op.done
+    assert len(op.contacted) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: logical space composition under visibility change
+# ---------------------------------------------------------------------------
+def test_fig1_isolated_instances_see_only_local(sim):
+    net, inst = build(sim, ["A", "B"], clique=False)
+    inst["A"].out(Tuple("at", "A"))
+    inst["B"].out(Tuple("at", "B"))
+    op = inst["A"].rdp(Pattern("at", "B"))
+    assert run_op(sim, op, until=10.0) is None
+
+
+def test_fig1_visible_instances_form_union(sim):
+    net, inst = build(sim, ["A", "B"], clique=False)
+    inst["A"].out(Tuple("at", "A"))
+    inst["B"].out(Tuple("at", "B"))
+    net.visibility.set_visible("A", "B")
+    op_ab = inst["A"].rdp(Pattern("at", "B"))
+    assert run_op(sim, op_ab, until=10.0) == Tuple("at", "B")
+    op_ba = inst["B"].rdp(Pattern("at", "A"))
+    assert run_op(sim, op_ba, until=20.0) == Tuple("at", "A")
+
+
+def test_fig1_no_global_consistency(sim):
+    """(c): B sees A∪B∪C while A sees A∪B and C sees B∪C."""
+    net, inst = build(sim, ["A", "B", "C"], clique=False)
+    for name in ("A", "B", "C"):
+        inst[name].out(Tuple("at", name))
+    net.visibility.set_visible("A", "B")
+    net.visibility.set_visible("B", "C")
+    # B reaches both A's and C's tuples.
+    assert run_op(sim, inst["B"].rdp(Pattern("at", "A")), until=10.0) == Tuple("at", "A")
+    assert run_op(sim, inst["B"].rdp(Pattern("at", "C")), until=20.0) == Tuple("at", "C")
+    # A cannot reach C's tuple, and vice versa (no transitive routing).
+    assert run_op(sim, inst["A"].rdp(Pattern("at", "C")), until=30.0) is None
+    assert run_op(sim, inst["C"].rdp(Pattern("at", "A")), until=40.0) is None
+
+
+# ---------------------------------------------------------------------------
+# Propagation modes (start vs continuous)
+# ---------------------------------------------------------------------------
+def test_start_mode_ignores_late_arrivals(sim):
+    config = TiamatConfig(propagate_mode="start")
+    net, inst = build(sim, ["origin", "late"], config=config, clique=False)
+    inst["late"].out(Tuple("wanted"))
+    op = inst["origin"].rd(Pattern("wanted"),
+                           requester=SimpleLeaseRequester(LeaseTerms(20.0, 8)))
+    sim.schedule(5.0, net.visibility.set_visible, "origin", "late", True)
+    sim.run(until=30.0)
+    assert op.result is None  # prototype semantics: late arrival not contacted
+
+
+def test_continuous_mode_contacts_late_arrivals(sim):
+    config = TiamatConfig(propagate_mode="continuous")
+    net, inst = build(sim, ["origin", "late"], config=config, clique=False)
+    inst["late"].out(Tuple("wanted"))
+    op = inst["origin"].rd(Pattern("wanted"),
+                           requester=SimpleLeaseRequester(LeaseTerms(20.0, 8)))
+    sim.schedule(5.0, net.visibility.set_visible, "origin", "late", True)
+    sim.run(until=30.0)
+    assert op.result == Tuple("wanted")
+    assert op.source == "late"
+
+
+def test_departure_does_not_break_ongoing_operation(sim):
+    """2.3: instances can leave without affecting operation semantics."""
+    net, inst = build(sim, ["origin", "flaky", "steady"])
+    op = inst["origin"].in_(Pattern("eventually"),
+                            requester=SimpleLeaseRequester(LeaseTerms(30.0, 8)))
+    sim.run(until=1.0)
+    net.visibility.set_up("flaky", False)  # departs mid-operation
+    inst["steady"].out(Tuple("eventually"))
+    sim.run(until=20.0)
+    assert op.result == Tuple("eventually")

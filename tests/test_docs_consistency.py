@@ -1,0 +1,66 @@
+"""Documentation hygiene: docs, code, and suites stay in sync."""
+
+import importlib
+import pathlib
+import pkgutil
+
+import repro
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def iter_modules():
+    """Every importable module in the repro package."""
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in iter_modules()
+               if not (m.__doc__ or "").strip()]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_export_exists():
+    for module in iter_modules():
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module.__name__}.__all__ lists " \
+                                          f"missing name {name!r}"
+
+
+def test_readme_lists_every_benchmark():
+    readme = (ROOT / "README.md").read_text()
+    bench_files = sorted(p.stem for p in (ROOT / "benchmarks").glob("test_*.py"))
+    missing = [b for b in bench_files if b not in readme]
+    assert not missing, f"benches absent from README: {missing}"
+
+
+def test_design_covers_every_benchmark():
+    design = (ROOT / "DESIGN.md").read_text()
+    bench_files = sorted(p.name for p in (ROOT / "benchmarks").glob("test_*.py"))
+    missing = [b for b in bench_files if b not in design]
+    assert not missing, f"benches absent from DESIGN.md index: {missing}"
+
+
+def test_readme_lists_every_example():
+    readme = (ROOT / "README.md").read_text()
+    examples = sorted(p.name for p in (ROOT / "examples").glob("*.py"))
+    missing = [e for e in examples if e not in readme]
+    assert not missing, f"examples absent from README: {missing}"
+
+
+def test_experiments_covers_every_reproduction_bench():
+    experiments = (ROOT / "EXPERIMENTS.md").read_text()
+    bench_files = sorted(
+        p.stem for p in (ROOT / "benchmarks").glob("test_*.py")
+        if p.stem != "test_micro_ops"  # explicitly not a paper figure
+    )
+    missing = [b for b in bench_files if b not in experiments]
+    assert not missing, f"benches absent from EXPERIMENTS.md: {missing}"
+
+
+def test_required_documents_exist():
+    for path in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/PROTOCOL.md", "docs/SIMULATION.md", "docs/API.md"):
+        assert (ROOT / path).exists(), f"missing {path}"

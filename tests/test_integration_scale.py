@@ -1,0 +1,148 @@
+"""Large-scale integration: global invariants over long, churning runs."""
+
+import pytest
+
+from repro.core import TiamatConfig, TiamatInstance
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import ChurnInjector, Network
+from repro.sim import Simulator
+from repro.tuples import Formal, Pattern, Tuple
+
+
+def build_cluster(sim, n, config=None, loss=0.0):
+    net = Network(sim, loss_rate=loss)
+    names = [f"n{i}" for i in range(n)]
+    instances = {name: TiamatInstance(sim, net, name, config=config)
+                 for name in names}
+    net.visibility.connect_clique(names)
+    return net, names, instances
+
+
+def test_forty_nodes_exactly_once_under_churn():
+    """40 nodes, churn, 120 tuples: every tuple consumed at most once."""
+    sim = Simulator(seed=81)
+    config = TiamatConfig(propagate_mode="continuous")
+    net, names, instances = build_cluster(sim, 40, config=config)
+    churn = ChurnInjector(sim, net.visibility)
+    for name in names:
+        churn.auto_churn(name, mean_uptime=30.0, mean_downtime=5.0)
+
+    ops = []
+
+    def producer():
+        for i in range(120):
+            instances[names[i % 40]].out(
+                Tuple("unit", i),
+                requester=SimpleLeaseRequester(LeaseTerms(duration=120.0)))
+            yield sim.timeout(0.5)
+
+    def consumers():
+        for k in range(160):  # more consumers than tuples
+            who = instances[names[(k * 7) % 40]]
+            ops.append(who.in_(
+                Pattern("unit", Formal(int)),
+                requester=SimpleLeaseRequester(LeaseTerms(10.0, 6))))
+            yield sim.timeout(0.4)
+
+    sim.spawn(producer())
+    sim.spawn(consumers())
+    sim.run(until=400.0)
+
+    assert all(op.done for op in ops)
+    consumed = [op.result[1] for op in ops if op.result is not None]
+    assert len(consumed) == len(set(consumed)), "a tuple was consumed twice"
+    assert len(consumed) > 60  # plenty of cross-node coordination happened
+
+
+def test_same_seed_is_bit_identical():
+    """Determinism: two runs with one seed produce identical statistics."""
+
+    def run(seed):
+        sim = Simulator(seed=seed)
+        net, names, instances = build_cluster(sim, 8)
+        churn = ChurnInjector(sim, net.visibility)
+        for name in names:
+            churn.auto_churn(name, mean_uptime=10.0, mean_downtime=3.0)
+        results = []
+
+        def driver():
+            for i in range(30):
+                instances[names[i % 8]].out(Tuple("d", i))
+                op = instances[names[(i + 4) % 8]].inp(Pattern("d", i))
+                tup = yield op.event
+                results.append(tup is not None)
+                yield sim.timeout(1.0)
+
+        sim.spawn(driver())
+        sim.run(until=200.0)
+        return (results, net.stats.total_messages, net.stats.total_bytes,
+                sim.events_processed)
+
+    assert run(123) == run(123)
+    assert run(123) != run(124)
+
+
+def test_sustained_load_does_not_leak_state():
+    """After every lease has ended, the instance's registries are empty."""
+    sim = Simulator(seed=82)
+    net, names, instances = build_cluster(sim, 4)
+
+    def driver():
+        for i in range(100):
+            who = instances[names[i % 4]]
+            who.out(Tuple("w", i),
+                    requester=SimpleLeaseRequester(LeaseTerms(duration=5.0)))
+            who.in_(Pattern("w", Formal(int)),
+                    requester=SimpleLeaseRequester(LeaseTerms(2.0, 4)))
+            yield sim.timeout(0.5)
+
+    sim.spawn(driver())
+    sim.run(until=300.0)
+    for inst in instances.values():
+        assert inst.leases.active_count == 0
+        assert inst.server.active_servings == 0
+        assert len(inst._ops) == 0
+        assert inst.space.waiter_count == 0
+        # Only the infrastructure space-info tuple remains.
+        assert inst.space.count() == 1
+
+
+def test_hundred_node_probe_sweep():
+    """One probe across a 100-node clique terminates within its lease."""
+    sim = Simulator(seed=83)
+    net, names, instances = build_cluster(sim, 100)
+    instances["n99"].out(Tuple("needle"),
+                         requester=SimpleLeaseRequester(
+                             LeaseTerms(duration=10_000.0)))
+    op = instances["n0"].rdp(
+        Pattern("needle"),
+        requester=SimpleLeaseRequester(LeaseTerms(duration=120.0,
+                                                  max_remotes=128)))
+    sim.run(until=300.0)
+    assert op.done and op.result == Tuple("needle")
+    assert op.source == "n99"
+
+
+def test_partition_heals_and_coordination_resumes():
+    sim = Simulator(seed=84)
+    config = TiamatConfig(propagate_mode="continuous")
+    net, names, instances = build_cluster(sim, 6, config=config)
+    left, right = names[:3], names[3:]
+    # Partition: clear all cross-group edges.
+    for a in left:
+        for b in right:
+            net.visibility.set_visible(a, b, False)
+    instances[right[0]].out(Tuple("island"),
+                            requester=SimpleLeaseRequester(
+                                LeaseTerms(duration=500.0)))
+    op = instances[left[0]].in_(
+        Pattern("island"),
+        requester=SimpleLeaseRequester(LeaseTerms(duration=60.0, max_remotes=8)))
+    sim.run(until=10.0)
+    assert not op.done  # unreachable across the partition
+    # Heal.
+    for a in left:
+        for b in right:
+            net.visibility.set_visible(a, b, True)
+    sim.run(until=60.0)
+    assert op.result == Tuple("island")

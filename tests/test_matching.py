@@ -1,0 +1,100 @@
+"""Unit and property-based tests for the matching relation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tuples import ANY, Actual, Formal, Pattern, Range, Tuple, matches
+
+# ---------------------------------------------------------------------------
+# Strategies shared with other property tests
+# ---------------------------------------------------------------------------
+scalar_values = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+field_values = st.recursive(
+    scalar_values,
+    lambda children: st.lists(children, min_size=1, max_size=3).map(Tuple.of),
+    max_leaves=5,
+)
+
+tuples = st.lists(field_values, min_size=1, max_size=5).map(Tuple.of)
+
+
+# ---------------------------------------------------------------------------
+# Example-based
+# ---------------------------------------------------------------------------
+def test_exact_match():
+    assert matches(Pattern("a", 1), Tuple("a", 1))
+
+
+def test_arity_mismatch_never_matches():
+    assert not matches(Pattern("a"), Tuple("a", 1))
+    assert not matches(Pattern("a", 1, 2), Tuple("a", 1))
+
+
+def test_formal_positions():
+    p = Pattern("result", int, str)
+    assert matches(p, Tuple("result", 3, "ok"))
+    assert not matches(p, Tuple("result", 3.0, "ok"))
+    assert not matches(p, Tuple("request", 3, "ok"))
+
+
+def test_wildcard_matches_any_type():
+    p = Pattern("x", ANY)
+    for v in (1, 1.5, "s", b"b", True, Tuple("n")):
+        assert matches(p, Tuple("x", v))
+
+
+def test_range_in_pattern():
+    p = Pattern("load", Range(0.0, 0.5))
+    assert matches(p, Tuple("load", 0.25))
+    assert not matches(p, Tuple("load", 0.75))
+
+
+def test_nested_tuple_actual():
+    inner = Tuple("point", 1, 2)
+    assert matches(Pattern("wrap", Actual(inner)), Tuple("wrap", inner))
+    assert not matches(Pattern("wrap", Actual(inner)), Tuple("wrap", Tuple("point", 1, 3)))
+
+
+def test_nested_tuple_formal():
+    assert matches(Pattern("wrap", Formal(Tuple)), Tuple("wrap", Tuple("anything")))
+    assert not matches(Pattern("wrap", Formal(Tuple)), Tuple("wrap", "not-a-tuple"))
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+@given(tuples)
+def test_fully_actual_pattern_matches_its_tuple(tup):
+    assert matches(Pattern.for_tuple(tup), tup)
+
+
+@given(tuples)
+def test_all_wildcard_pattern_matches_same_arity(tup):
+    assert matches(Pattern(*([ANY] * tup.arity)), tup)
+
+
+@given(tuples, tuples)
+def test_fully_actual_pattern_matches_only_equal_tuples(a, b):
+    pattern = Pattern.for_tuple(a)
+    assert matches(pattern, b) == (a == b)
+
+
+@given(tuples)
+def test_formals_from_signature_match(tup):
+    type_map = {"bool": bool, "int": int, "float": float, "str": str,
+                "bytes": bytes, "Tuple": Tuple}
+    pattern = Pattern(*[Formal(type_map[name]) for name in tup.signature])
+    assert matches(pattern, tup)
+
+
+@given(tuples)
+def test_arity_change_breaks_match(tup):
+    widened = Pattern(*([ANY] * (tup.arity + 1)))
+    assert not matches(widened, tup)

@@ -1,0 +1,211 @@
+"""Unit tests for mobility models, range-visibility driver, and churn."""
+
+import pytest
+
+from repro.net import (
+    ChurnInjector,
+    Position,
+    RandomWaypointMobility,
+    RangeVisibilityDriver,
+    StaticPlacement,
+    VisibilityGraph,
+    WaypointTrace,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Position & static placement
+# ---------------------------------------------------------------------------
+def test_position_distance():
+    assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+
+def test_static_placement_grid():
+    placement = StaticPlacement.grid(["a", "b", "c", "d"], spacing=10.0)
+    assert placement.position_of("a") == Position(0, 0)
+    assert placement.position_of("b") == Position(10, 0)
+    assert placement.position_of("c") == Position(0, 10)
+    assert sorted(placement.nodes()) == ["a", "b", "c", "d"]
+
+
+def test_static_placement_never_moves():
+    placement = StaticPlacement({"a": Position(1, 2)})
+    placement.advance(100.0)
+    assert placement.position_of("a") == Position(1, 2)
+
+
+# ---------------------------------------------------------------------------
+# Random waypoint
+# ---------------------------------------------------------------------------
+def test_random_waypoint_stays_in_area():
+    sim = Simulator(seed=1)
+    model = RandomWaypointMobility(sim.rng("mob"), width=100, height=50,
+                                   speed_min=1, speed_max=5, pause=1.0)
+    for i in range(5):
+        model.add_node(f"n{i}")
+    for _ in range(200):
+        model.advance(1.0)
+        for node in model.nodes():
+            pos = model.position_of(node)
+            assert 0 <= pos.x <= 100 and 0 <= pos.y <= 50
+
+
+def test_random_waypoint_actually_moves():
+    sim = Simulator(seed=2)
+    model = RandomWaypointMobility(sim.rng("mob"), width=100, height=100, pause=0.1)
+    model.add_node("n")
+    start = model.position_of("n")
+    model.advance(30.0)
+    assert model.position_of("n").distance_to(start) > 0
+
+
+def test_random_waypoint_is_reproducible():
+    def trajectory(seed):
+        sim = Simulator(seed=seed)
+        model = RandomWaypointMobility(sim.rng("mob"), 100, 100)
+        model.add_node("n")
+        points = []
+        for _ in range(10):
+            model.advance(2.0)
+            p = model.position_of("n")
+            points.append((p.x, p.y))
+        return points
+
+    assert trajectory(7) == trajectory(7)
+    assert trajectory(7) != trajectory(8)
+
+
+# ---------------------------------------------------------------------------
+# Waypoint traces
+# ---------------------------------------------------------------------------
+def test_trace_interpolates():
+    trace = WaypointTrace()
+    trace.add_keyframe("n", 0.0, 0, 0)
+    trace.add_keyframe("n", 10.0, 100, 0)
+    trace.advance(5.0)
+    assert trace.position_of("n") == Position(50, 0)
+
+
+def test_trace_holds_outside_keyframes():
+    trace = WaypointTrace()
+    trace.add_keyframe("n", 5.0, 10, 10)
+    trace.add_keyframe("n", 6.0, 20, 20)
+    assert trace.position_of("n") == Position(10, 10)  # before first
+    trace.advance(100.0)
+    assert trace.position_of("n") == Position(20, 20)  # after last
+
+
+def test_trace_rejects_unordered_keyframes():
+    trace = WaypointTrace()
+    trace.add_keyframe("n", 5.0, 0, 0)
+    with pytest.raises(ValueError):
+        trace.add_keyframe("n", 1.0, 0, 0)
+
+
+def test_trace_unknown_node():
+    assert WaypointTrace().position_of("ghost") is None
+
+
+# ---------------------------------------------------------------------------
+# Range visibility driver
+# ---------------------------------------------------------------------------
+def test_driver_initial_sync():
+    sim = Simulator()
+    graph = VisibilityGraph()
+    placement = StaticPlacement({"a": Position(0, 0), "b": Position(5, 0),
+                                 "c": Position(100, 0)})
+    driver = RangeVisibilityDriver(sim, graph, placement, radio_range=10.0)
+    driver.start()
+    assert graph.visible("a", "b")
+    assert not graph.visible("a", "c")
+
+
+def test_driver_tracks_movement():
+    sim = Simulator()
+    graph = VisibilityGraph()
+    trace = WaypointTrace()
+    trace.add_keyframe("a", 0.0, 0, 0)
+    trace.add_keyframe("a", 100.0, 0, 0)  # a stays put
+    trace.add_keyframe("b", 0.0, 50, 0)
+    trace.add_keyframe("b", 10.0, 0, 0)   # b walks to a
+    trace.add_keyframe("b", 20.0, 50, 0)  # and away again
+    driver = RangeVisibilityDriver(sim, graph, trace, radio_range=10.0, tick=1.0)
+    driver.start()
+    assert not graph.visible("a", "b")
+    sim.run(until=10.0)
+    assert graph.visible("a", "b")
+    sim.run(until=20.0)
+    assert not graph.visible("a", "b")
+    driver.stop()
+
+
+def test_driver_fires_edge_listeners_once_per_transition():
+    sim = Simulator()
+    graph = VisibilityGraph()
+    transitions = []
+    graph.on_edge_change(lambda a, b, v: transitions.append(v))
+    trace = WaypointTrace()
+    trace.add_keyframe("a", 0.0, 0, 0)
+    trace.add_keyframe("b", 0.0, 5, 0)
+    trace.add_keyframe("b", 50.0, 5, 0)
+    driver = RangeVisibilityDriver(sim, graph, trace, radio_range=10.0, tick=1.0)
+    driver.start()
+    sim.run(until=30.0)
+    assert transitions == [True]  # in range the whole time: one transition
+
+
+# ---------------------------------------------------------------------------
+# Churn
+# ---------------------------------------------------------------------------
+def test_scripted_kill_and_revive():
+    sim = Simulator()
+    graph = VisibilityGraph()
+    graph.set_visible("a", "b")
+    churn = ChurnInjector(sim, graph)
+    churn.kill_at("a", 5.0)
+    churn.revive_at("a", 10.0)
+    sim.run(until=6.0)
+    assert not graph.is_up("a")
+    sim.run(until=11.0)
+    assert graph.is_up("a")
+    assert churn.downs == 1 and churn.ups == 1
+
+
+def test_immediate_kill():
+    sim = Simulator()
+    graph = VisibilityGraph()
+    graph.add_node("a")
+    ChurnInjector(sim, graph).kill("a")
+    assert not graph.is_up("a")
+
+
+def test_auto_churn_cycles():
+    sim = Simulator(seed=3)
+    graph = VisibilityGraph()
+    graph.add_node("a")
+    churn = ChurnInjector(sim, graph)
+    churn.auto_churn("a", mean_uptime=5.0, mean_downtime=5.0)
+    sim.run(until=500.0)
+    assert churn.downs > 5 and churn.ups > 5
+    assert abs(churn.downs - churn.ups) <= 1
+
+
+def test_auto_churn_validation():
+    sim = Simulator()
+    churn = ChurnInjector(sim, VisibilityGraph())
+    with pytest.raises(ValueError):
+        churn.auto_churn("a", mean_uptime=0, mean_downtime=5)
+
+
+def test_stop_auto_churn():
+    sim = Simulator(seed=3)
+    graph = VisibilityGraph()
+    graph.add_node("a")
+    churn = ChurnInjector(sim, graph)
+    churn.auto_churn("a", mean_uptime=5.0, mean_downtime=5.0)
+    sim.run(until=50.0)
+    churn.stop_auto_churn("a")
+    flips = churn.downs + churn.ups
+    sim.run(until=500.0)
+    assert churn.downs + churn.ups == flips

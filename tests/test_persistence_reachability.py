@@ -1,0 +1,209 @@
+"""Tests for space persistence (2.4) and multi-hop visibility (2.2)."""
+
+import pytest
+
+from repro.core import TiamatInstance
+from repro.errors import SerializationError
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import (
+    MultiHopVisibilityDriver,
+    Network,
+    Position,
+    StaticPlacement,
+    VisibilityGraph,
+    WaypointTrace,
+)
+from repro.sim import Simulator
+from repro.tuples import (
+    LocalTupleSpace,
+    Pattern,
+    Tuple,
+    load_space,
+    restore_space,
+    save_space,
+    snapshot_space,
+)
+
+from tests.test_core_instance import build, run_op
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+def test_snapshot_roundtrip_plain_tuples():
+    sim = Simulator()
+    space = LocalTupleSpace(sim, name="src")
+    space.out(Tuple("a", 1))
+    space.out(Tuple("b", 2.5, b"raw"))
+    snapshot = snapshot_space(space)
+    target = LocalTupleSpace(sim, name="dst")
+    assert restore_space(target, snapshot) == 2
+    assert target.snapshot() == space.snapshot()
+
+
+def test_snapshot_preserves_remaining_lease_time():
+    sim = Simulator()
+    space = LocalTupleSpace(sim, name="src")
+    space.out(Tuple("mortal"), expires_at=30.0)
+    sim.run(until=10.0)  # 20s of lease left
+    snapshot = snapshot_space(space)
+
+    sim2 = Simulator(start_time=1000.0)
+    target = LocalTupleSpace(sim2, name="dst")
+    restore_space(target, snapshot)
+    sim2.run(until=1015.0)
+    assert target.count(Pattern("mortal")) == 1  # 15 < 20 remaining
+    sim2.run(until=1025.0)
+    assert target.count(Pattern("mortal")) == 0  # expired at +20
+
+
+def test_snapshot_excludes_held_entries():
+    sim = Simulator()
+    space = LocalTupleSpace(sim, name="src")
+    space.out(Tuple("held"))
+    space.out(Tuple("free"))
+    entry = space.hold_match(Pattern("held"))
+    assert entry is not None
+    snapshot = snapshot_space(space)
+    assert len(snapshot["entries"]) == 1
+
+
+def test_snapshot_excludes_space_info_tuple():
+    sim = Simulator()
+    net = Network(sim)
+    inst = TiamatInstance(sim, net, "dev")
+    inst.out(Tuple("user-data", 1))
+    snapshot = inst.snapshot_space()
+    assert len(snapshot["entries"]) == 1
+
+
+def test_instance_power_cycle_via_snapshot():
+    """A device snapshots, 'reboots' as a new instance, and restores."""
+    sim = Simulator(seed=11)
+    net = Network(sim)
+    old = TiamatInstance(sim, net, "dev")
+    old.out(Tuple("kept", 42),
+            requester=SimpleLeaseRequester(LeaseTerms(duration=1000.0)))
+    snapshot = old.snapshot_space()
+    old.shutdown()
+
+    reborn = TiamatInstance(sim, net, "dev2")
+    assert reborn.restore_space(snapshot) == 1
+    peer = TiamatInstance(sim, net, "peer")
+    net.visibility.set_visible("dev2", "peer")
+    op = peer.rd(Pattern("kept", int))
+    sim.run(until=10.0)
+    assert op.result == Tuple("kept", 42)
+
+
+def test_save_and_load_file(tmp_path):
+    sim = Simulator()
+    space = LocalTupleSpace(sim, name="src")
+    for i in range(5):
+        space.out(Tuple("row", i))
+    path = str(tmp_path / "space.json")
+    assert save_space(space, path) == 5
+    target = LocalTupleSpace(sim, name="dst")
+    assert load_space(target, path) == 5
+    assert target.count(Pattern("row", int)) == 5
+
+
+def test_restore_rejects_bad_snapshots():
+    sim = Simulator()
+    space = LocalTupleSpace(sim, name="dst")
+    with pytest.raises(SerializationError):
+        restore_space(space, {"version": 99, "entries": []})
+    with pytest.raises(SerializationError):
+        restore_space(space, {"version": 1, "entries": [{"tuple": ["??"]}]})
+    with pytest.raises(SerializationError):
+        restore_space(space, "not-a-dict")
+
+
+# ---------------------------------------------------------------------------
+# Multi-hop visibility
+# ---------------------------------------------------------------------------
+def chain_placement(n, spacing):
+    return StaticPlacement({f"c{i}": Position(i * spacing, 0.0)
+                            for i in range(n)})
+
+
+def test_multihop_extends_visibility_along_chain():
+    sim = Simulator()
+    graph = VisibilityGraph()
+    # 4 nodes in a line, each only in radio range of its neighbour.
+    placement = chain_placement(4, spacing=10.0)
+    driver = MultiHopVisibilityDriver(sim, graph, placement,
+                                      radio_range=10.0, max_hops=2)
+    driver.start()
+    assert graph.visible("c0", "c1")      # 1 hop
+    assert graph.visible("c0", "c2")      # 2 hops
+    assert not graph.visible("c0", "c3")  # 3 hops > max
+
+
+def test_one_hop_equals_direct_visibility():
+    sim = Simulator()
+    graph = VisibilityGraph()
+    placement = chain_placement(3, spacing=10.0)
+    MultiHopVisibilityDriver(sim, graph, placement,
+                             radio_range=10.0, max_hops=1).start()
+    assert graph.visible("c0", "c1")
+    assert not graph.visible("c0", "c2")
+
+
+def test_multihop_tracks_movement():
+    sim = Simulator()
+    graph = VisibilityGraph()
+    trace = WaypointTrace()
+    trace.add_keyframe("a", 0.0, 0, 0)
+    trace.add_keyframe("a", 100.0, 0, 0)
+    trace.add_keyframe("relay", 0.0, 10, 0)
+    trace.add_keyframe("relay", 10.0, 500, 0)  # relay walks away
+    trace.add_keyframe("b", 0.0, 20, 0)
+    trace.add_keyframe("b", 100.0, 20, 0)
+    driver = MultiHopVisibilityDriver(sim, graph, trace,
+                                      radio_range=10.0, max_hops=2, tick=1.0)
+    driver.start()
+    assert graph.visible("a", "b")  # via the relay
+    sim.run(until=20.0)
+    assert not graph.visible("a", "b")  # relay gone, chain broken
+    driver.stop()
+
+
+def test_multihop_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        MultiHopVisibilityDriver(sim, VisibilityGraph(),
+                                 chain_placement(2, 10.0),
+                                 radio_range=10.0, max_hops=0)
+
+
+def test_tiamat_coordinates_across_multihop_visibility():
+    """End to end: A and C coordinate though only B is in radio range."""
+    sim = Simulator(seed=12)
+    net = Network(sim)
+    a = TiamatInstance(sim, net, "c0")
+    b = TiamatInstance(sim, net, "c1")
+    c = TiamatInstance(sim, net, "c2")
+    placement = chain_placement(3, spacing=10.0)
+    MultiHopVisibilityDriver(sim, net.visibility, placement,
+                             radio_range=10.0, max_hops=2).start()
+    c.out(Tuple("far-away", 1))
+    op = a.in_(Pattern("far-away", int))
+    sim.run(until=10.0)
+    assert op.result == Tuple("far-away", 1)
+    assert op.source == "c2"
+
+
+# ---------------------------------------------------------------------------
+# Pluggable space
+# ---------------------------------------------------------------------------
+def test_instance_accepts_custom_space():
+    sim = Simulator(seed=13)
+    net = Network(sim)
+    prefilled = LocalTupleSpace(sim, name="prefilled")
+    prefilled.out(Tuple("legacy", 7))
+    inst = TiamatInstance(sim, net, "node", space=prefilled)
+    assert inst.space is prefilled
+    op = inst.rdp(Pattern("legacy", int))
+    sim.run(until=5.0)
+    assert op.result == Tuple("legacy", 7)

@@ -1,0 +1,115 @@
+"""Property tests over the distributed middleware itself.
+
+Hypothesis generates small distributed *programs* (interleaved deposits,
+takes, and visibility flips across three instances); after executing one,
+global conservation laws must hold:
+
+* every value consumed was produced, and consumed at most once;
+* tuples neither duplicate nor vanish: produced = consumed + resident
+  (+ expired, which the long deposit leases here rule out).
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TiamatConfig, TiamatInstance
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import Network
+from repro.sim import Simulator
+from repro.tuples import Formal, Pattern, Tuple
+
+NODES = ("n0", "n1", "n2")
+
+commands = st.lists(
+    st.one_of(
+        st.tuples(st.just("out"), st.sampled_from(NODES),
+                  st.integers(min_value=0, max_value=9)),
+        st.tuples(st.just("inp"), st.sampled_from(NODES),
+                  st.integers(min_value=0, max_value=9)),
+        st.tuples(st.just("take_any"), st.sampled_from(NODES)),
+        st.tuples(st.just("flip"), st.sampled_from(NODES),
+                  st.sampled_from(NODES)),
+        st.tuples(st.just("tick")),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def execute(program, propagate_mode):
+    sim = Simulator(seed=5)
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode=propagate_mode)
+    instances = {n: TiamatInstance(sim, net, n, config=config) for n in NODES}
+    net.visibility.connect_clique(list(NODES))
+
+    produced = Counter()
+    ops = []
+
+    def driver():
+        for command in program:
+            kind = command[0]
+            if kind == "out":
+                _, node, value = command
+                instances[node].out(
+                    Tuple("v", value),
+                    requester=SimpleLeaseRequester(
+                        LeaseTerms(duration=100_000.0)))
+                produced[value] += 1
+            elif kind == "inp":
+                _, node, value = command
+                ops.append(instances[node].inp(
+                    Pattern("v", value),
+                    requester=SimpleLeaseRequester(LeaseTerms(2.0, 8))))
+            elif kind == "take_any":
+                _, node = command
+                ops.append(instances[node].in_(
+                    Pattern("v", Formal(int)),
+                    requester=SimpleLeaseRequester(LeaseTerms(3.0, 8))))
+            elif kind == "flip":
+                _, a, b = command
+                if a != b:
+                    currently = net.visibility.visible(a, b)
+                    net.visibility.set_visible(a, b, not currently)
+            elif kind == "tick":
+                yield sim.timeout(1.0)
+        # Let every outstanding operation run to its lease bound.
+        yield sim.timeout(30.0)
+
+    process = sim.spawn(driver())
+    # The horizon comfortably covers every op lease (<= 3s each) plus the
+    # final grace period, but stays far below the deposits' (policy-capped)
+    # 3600s lifetime, so nothing expires before we take the census.
+    sim.run(until=500.0)
+    assert process.triggered
+
+    consumed = Counter()
+    for op in ops:
+        assert op.done, "an operation never terminated"
+        if op.result is not None:
+            consumed[op.result[1]] += 1
+    resident = Counter()
+    for inst in instances.values():
+        for tup in inst.space.snapshot():
+            if tup[0] == "v":
+                resident[tup[1]] += 1
+    return produced, consumed, resident
+
+
+@settings(max_examples=25, deadline=None)
+@given(commands)
+def test_conservation_start_mode(program):
+    produced, consumed, resident = execute(program, "start")
+    for value in range(10):
+        assert consumed[value] + resident[value] == produced[value], (
+            f"value {value}: produced={produced[value]} "
+            f"consumed={consumed[value]} resident={resident[value]}")
+
+
+@settings(max_examples=25, deadline=None)
+@given(commands)
+def test_conservation_continuous_mode(program):
+    produced, consumed, resident = execute(program, "continuous")
+    for value in range(10):
+        assert consumed[value] + resident[value] == produced[value]

@@ -1,0 +1,131 @@
+"""More property tests: kernel ordering guarantees and lease accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.leasing import (
+    AcceptAnythingRequester,
+    LeaseManager,
+    OperationKind,
+)
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Kernel: execution order is (time, insertion order), always
+# ---------------------------------------------------------------------------
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                  min_size=1, max_size=50)
+
+
+@given(delays)
+def test_callbacks_run_in_nondecreasing_time(ds):
+    sim = Simulator()
+    fired = []
+    for d in ds:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(ds)
+
+
+@given(delays)
+def test_equal_times_preserve_insertion_order(ds):
+    sim = Simulator()
+    fired = []
+    for i, d in enumerate(ds):
+        quantized = round(d)  # force collisions
+        sim.schedule(float(quantized), lambda i=i: fired.append(i))
+    sim.run()
+    # Group by quantized time: within each group, insertion order holds.
+    by_time = {}
+    for i, d in enumerate(ds):
+        by_time.setdefault(round(d), []).append(i)
+    expected = [i for t in sorted(by_time) for i in by_time[t]]
+    assert fired == expected
+
+
+@given(delays, st.integers(min_value=0, max_value=49))
+def test_cancelled_timer_never_fires(ds, victim_index):
+    sim = Simulator()
+    fired = []
+    timers = [sim.schedule(d, lambda i=i: fired.append(i))
+              for i, d in enumerate(ds)]
+    victim = timers[victim_index % len(timers)]
+    victim.cancel()
+    sim.run()
+    assert (victim_index % len(ds)) not in fired
+    assert len(fired) == len(ds) - 1
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+                min_size=1, max_size=20))
+def test_run_until_horizon_is_respected(ds):
+    sim = Simulator()
+    fired = []
+    for d in ds:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    horizon = 25.0
+    sim.run(until=horizon)
+    assert all(d <= horizon for d in fired)
+    assert sim.now == max(horizon, sim.now)
+    sim.run()
+    assert sorted(fired) == sorted(ds)
+
+
+# ---------------------------------------------------------------------------
+# Lease manager: storage accounting never drifts
+# ---------------------------------------------------------------------------
+class LeaseAccounting(RuleBasedStateMachine):
+    """Random grant/release/revoke/expire sequences vs a reference sum."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator(seed=0)
+        self.manager = LeaseManager(self.sim, storage_capacity=100_000)
+        self.live = {}  # lease -> committed bytes
+
+    @rule(size=st.integers(min_value=0, max_value=500))
+    def grant(self, size):
+        committed = sum(self.live.values())
+        if committed + size > 100_000:
+            return
+        lease = self.manager.negotiate(AcceptAnythingRequester(),
+                                       OperationKind.OUT, storage_needed=size)
+        self.live[lease] = size
+
+    @rule()
+    def release_one(self):
+        if self.live:
+            lease = next(iter(self.live))
+            del self.live[lease]
+            lease.release()
+
+    @rule()
+    def revoke_one(self):
+        if self.live:
+            lease = next(iter(self.live))
+            del self.live[lease]
+            self.manager.revoke(lease)
+
+    @rule(dt=st.floats(min_value=0.1, max_value=50.0, allow_nan=False))
+    def advance_time(self, dt):
+        self.sim.run(until=self.sim.now + dt)
+        # Drop reference entries for leases that expired meanwhile.
+        for lease in [l for l in self.live if not l.active]:
+            del self.live[lease]
+
+    @invariant()
+    def storage_matches_reference(self):
+        assert self.manager.storage_used == sum(self.live.values())
+
+    @invariant()
+    def active_count_matches(self):
+        assert self.manager.active_count == len(self.live)
+
+
+TestLeaseAccounting = LeaseAccounting.TestCase
+TestLeaseAccounting.settings = settings(max_examples=40,
+                                        stateful_step_count=40,
+                                        deadline=None)

@@ -1,0 +1,220 @@
+"""Property-based state-machine tests against reference models.
+
+Hypothesis drives random operation sequences and checks the real
+implementations against simple, obviously-correct reference models:
+
+* :class:`SpaceMachine` — the local tuple space vs a plain multiset;
+* :class:`GraphMachine` — the visibility graph vs a set of frozensets;
+* algebraic properties of lease terms (capping, satisfaction).
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.leasing import LeaseTerms
+from repro.net import VisibilityGraph
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple, TupleStore, matches
+from repro.tuples.model import ANY
+
+# ---------------------------------------------------------------------------
+# Local tuple space vs multiset
+# ---------------------------------------------------------------------------
+values = st.integers(min_value=0, max_value=4)
+
+
+class SpaceMachine(RuleBasedStateMachine):
+    """out/inp/rdp/hold/confirm/release vs a Counter reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator(seed=0)
+        from repro.tuples import LocalTupleSpace
+
+        self.space = LocalTupleSpace(self.sim, name="pbt")
+        self.model = Counter()
+        self.held = {}  # entry_id -> value
+
+    @rule(v=values)
+    def out(self, v):
+        self.space.out(Tuple("k", v))
+        self.model[v] += 1
+
+    @rule(v=values)
+    def inp(self, v):
+        got = self.space.inp(Pattern("k", v))
+        if self.model[v] > 0:
+            assert got == Tuple("k", v)
+            self.model[v] -= 1
+        else:
+            assert got is None
+
+    @rule(v=values)
+    def rdp(self, v):
+        got = self.space.rdp(Pattern("k", v))
+        assert (got is not None) == (self.model[v] > 0)
+
+    @rule(v=values)
+    def hold(self, v):
+        entry = self.space.hold_match(Pattern("k", v))
+        if self.model[v] > 0:
+            assert entry is not None
+            self.model[v] -= 1  # invisible while held
+            self.held[entry.entry_id] = v
+        else:
+            assert entry is None
+
+    @rule()
+    def confirm_one(self):
+        if self.held:
+            entry_id, _ = self.held.popitem()
+            self.space.confirm(entry_id)
+
+    @rule()
+    def release_one(self):
+        if self.held:
+            entry_id, v = self.held.popitem()
+            self.space.release(entry_id)
+            self.model[v] += 1
+
+    @invariant()
+    def counts_agree(self):
+        for v in range(5):
+            assert self.space.count(Pattern("k", v)) == self.model[v]
+        assert self.space.count() == sum(self.model.values())
+
+
+TestSpaceMachine = SpaceMachine.TestCase
+TestSpaceMachine.settings = settings(max_examples=40, stateful_step_count=30,
+                                     deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Visibility graph vs set-of-edges model
+# ---------------------------------------------------------------------------
+node_names = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+class GraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.graph = VisibilityGraph()
+        self.edges = set()
+        self.down = set()
+        for n in "abcde":
+            self.graph.add_node(n)
+
+    @rule(a=node_names, b=node_names)
+    def link(self, a, b):
+        self.graph.set_visible(a, b, True)
+        if a != b:
+            self.edges.add(frozenset((a, b)))
+
+    @rule(a=node_names, b=node_names)
+    def unlink(self, a, b):
+        self.graph.set_visible(a, b, False)
+        self.edges.discard(frozenset((a, b)))
+
+    @rule(n=node_names)
+    def take_down(self, n):
+        self.graph.set_up(n, False)
+        self.down.add(n)
+
+    @rule(n=node_names)
+    def bring_up(self, n):
+        self.graph.set_up(n, True)
+        self.down.discard(n)
+
+    @invariant()
+    def visibility_matches_model(self):
+        for a in "abcde":
+            for b in "abcde":
+                expected = (a != b
+                            and frozenset((a, b)) in self.edges
+                            and a not in self.down
+                            and b not in self.down)
+                assert self.graph.visible(a, b) == expected
+
+    @invariant()
+    def neighbors_are_symmetric(self):
+        for a in "abcde":
+            for b in self.graph.neighbors(a):
+                assert a in self.graph.neighbors(b)
+
+
+TestGraphMachine = GraphMachine.TestCase
+TestGraphMachine.settings = settings(max_examples=40, stateful_step_count=30,
+                                     deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Store candidates vs brute force
+# ---------------------------------------------------------------------------
+@given(st.lists(st.tuples(values, values), max_size=25),
+       st.tuples(values, values))
+def test_store_find_all_equals_brute_force(items, query):
+    store = TupleStore()
+    resident = []
+    for a, b in items:
+        tup = Tuple("t", a, b)
+        store.add(tup)
+        resident.append(tup)
+    pattern = Pattern("t", query[0], ANY)
+    via_index = [e.tuple for e in store.find_all(pattern)]
+    brute = [t for t in resident if matches(pattern, t)]
+    assert sorted(via_index, key=repr) == sorted(brute, key=repr)
+
+
+# ---------------------------------------------------------------------------
+# Lease terms algebra
+# ---------------------------------------------------------------------------
+opt_floats = st.one_of(st.none(), st.floats(min_value=0, max_value=1e6,
+                                            allow_nan=False))
+opt_ints = st.one_of(st.none(), st.integers(min_value=0, max_value=10**6))
+terms = st.builds(LeaseTerms, duration=opt_floats, max_remotes=opt_ints,
+                  storage_bytes=opt_ints)
+
+
+@given(terms)
+def test_terms_satisfy_themselves(t):
+    assert t.satisfies(t)
+
+
+@given(terms)
+def test_unbounded_satisfies_everything(t):
+    assert LeaseTerms().satisfies(t)
+
+
+@given(terms)
+def test_everything_satisfies_unbounded(t):
+    assert t.satisfies(LeaseTerms())
+
+
+@given(terms, opt_floats, opt_ints, opt_ints)
+def test_capping_never_increases(t, d, r, s):
+    capped = t.capped(duration=d, max_remotes=r, storage_bytes=s)
+
+    def leq(a, b):
+        if b is None:
+            return True
+        if a is None:
+            return False
+        return a <= b
+
+    assert leq(capped.duration, t.duration) or t.duration is None
+    assert leq(capped.max_remotes, t.max_remotes) or t.max_remotes is None
+    assert leq(capped.storage_bytes, t.storage_bytes) or t.storage_bytes is None
+
+
+@given(terms, terms)
+def test_satisfies_is_antisymmetric_up_to_equality(a, b):
+    # If each satisfies the other in every *bounded-on-both-sides*
+    # dimension, the bounded dimensions must be equal.
+    if a.satisfies(b) and b.satisfies(a):
+        for dim in ("duration", "max_remotes", "storage_bytes"):
+            va, vb = getattr(a, dim), getattr(b, dim)
+            if va is not None and vb is not None:
+                assert va == vb

@@ -1,0 +1,127 @@
+"""Edge cases for the threaded runtime and persistence properties."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import ThreadSafeTupleSpace, ThreadedNodeRegistry, ThreadedTiamatNode
+from repro.sim import Simulator
+from repro.tuples import (
+    LocalTupleSpace,
+    Pattern,
+    Tuple,
+    restore_space,
+    snapshot_space,
+)
+from tests.test_matching import tuples as tuples_strategy
+
+
+# ---------------------------------------------------------------------------
+# Threaded runtime edges
+# ---------------------------------------------------------------------------
+def test_threaded_eval_bad_result_deposits_nothing():
+    registry = ThreadedNodeRegistry()
+    node = ThreadedTiamatNode(registry, "n")
+    # Good eval deposits its tuple...
+    thread = node.eval(lambda: Tuple("ok"))
+    thread.join(timeout=5.0)
+    assert node.rdp(Pattern("ok")) == Tuple("ok")
+    # ...a failing eval dies on its own thread and deposits nothing.
+    import threading as _threading
+
+    captured = []
+    original_hook = _threading.excepthook
+    _threading.excepthook = lambda args: captured.append(args.exc_type)
+    try:
+        bad = node.eval(lambda: "not-a-tuple")
+        bad.join(timeout=5.0)
+    finally:
+        _threading.excepthook = original_hook
+    assert captured == [TypeError]
+    assert node.space.count() == 1  # only the good result
+
+
+def test_threaded_space_count_with_pattern():
+    space = ThreadSafeTupleSpace()
+    space.out(Tuple("a", 1))
+    space.out(Tuple("a", 2))
+    space.out(Tuple("b", 1))
+    assert space.count(Pattern("a", int)) == 2
+    assert space.count() == 3
+
+
+def test_registry_visible_nodes_sorted_and_dynamic():
+    registry = ThreadedNodeRegistry()
+    a = ThreadedTiamatNode(registry, "a")
+    c = ThreadedTiamatNode(registry, "c")
+    b = ThreadedTiamatNode(registry, "b")
+    registry.set_visible("a", "c")
+    registry.set_visible("a", "b")
+    assert [n.name for n in registry.visible_nodes("a")] == ["b", "c"]
+    registry.set_visible("a", "b", False)
+    assert [n.name for n in registry.visible_nodes("a")] == ["c"]
+    assert registry.visible_nodes("stranger") == []
+
+
+def test_threaded_rd_does_not_consume_remote():
+    registry = ThreadedNodeRegistry()
+    a = ThreadedTiamatNode(registry, "a")
+    b = ThreadedTiamatNode(registry, "b")
+    registry.set_visible("a", "b")
+    a.out(Tuple("keep"))
+    assert b.rd(Pattern("keep"), timeout=1.0) == Tuple("keep")
+    assert a.space.count(Pattern("keep")) == 1
+
+
+def test_threaded_unbounded_rd_blocks_until_signal():
+    space = ThreadSafeTupleSpace()
+    results = []
+
+    def reader():
+        results.append(space.rd(Pattern("sig")))  # no timeout: waits
+
+    thread = threading.Thread(target=reader, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not results
+    space.out(Tuple("sig"))
+    thread.join(timeout=5.0)
+    assert results == [Tuple("sig")]
+
+
+# ---------------------------------------------------------------------------
+# Persistence properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(st.lists(tuples_strategy, max_size=10))
+def test_snapshot_restore_roundtrip_property(tuples):
+    sim = Simulator()
+    source = LocalTupleSpace(sim, name="src")
+    for tup in tuples:
+        source.out(tup)
+    snapshot = snapshot_space(source)
+    target = LocalTupleSpace(sim, name="dst")
+    restored = restore_space(target, snapshot)
+    assert restored == len(tuples)
+    assert sorted(target.snapshot(), key=repr) == sorted(tuples, key=repr)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(tuples_strategy,
+                          st.one_of(st.none(),
+                                    st.floats(min_value=1.0, max_value=100.0))),
+                max_size=8))
+def test_snapshot_preserves_lease_structure(items):
+    sim = Simulator()
+    source = LocalTupleSpace(sim, name="src")
+    for tup, remaining in items:
+        expires_at = None if remaining is None else sim.now + remaining
+        source.out(tup, expires_at=expires_at)
+    snapshot = snapshot_space(source)
+    bounded = sum(1 for _, r in items if r is not None)
+    unbounded = sum(1 for _, r in items if r is None)
+    assert sum(1 for e in snapshot["entries"] if e["remaining"] is not None) == bounded
+    assert sum(1 for e in snapshot["entries"] if e["remaining"] is None) == unbounded

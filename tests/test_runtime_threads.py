@@ -1,0 +1,185 @@
+"""Tests for the real-thread runtime (concurrency, blocking, visibility)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import ThreadSafeTupleSpace, ThreadedNodeRegistry, ThreadedTiamatNode
+from repro.tuples import Formal, Pattern, Tuple
+
+
+# ---------------------------------------------------------------------------
+# ThreadSafeTupleSpace
+# ---------------------------------------------------------------------------
+def test_out_rdp_inp_roundtrip():
+    space = ThreadSafeTupleSpace()
+    space.out(Tuple("x", 1))
+    assert space.rdp(Pattern("x", int)) == Tuple("x", 1)
+    assert space.inp(Pattern("x", int)) == Tuple("x", 1)
+    assert space.inp(Pattern("x", int)) is None
+
+
+def test_blocking_rd_wakes_on_deposit():
+    space = ThreadSafeTupleSpace()
+    results = []
+
+    def reader():
+        results.append(space.rd(Pattern("ping"), timeout=5.0))
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    time.sleep(0.05)
+    space.out(Tuple("ping"))
+    thread.join(timeout=5.0)
+    assert results == [Tuple("ping")]
+
+
+def test_blocking_in_times_out():
+    space = ThreadSafeTupleSpace()
+    start = time.monotonic()
+    assert space.in_(Pattern("never"), timeout=0.1) is None
+    assert time.monotonic() - start >= 0.09
+
+
+def test_exactly_once_under_contention():
+    """Many threads race to take N tuples: each tuple taken exactly once."""
+    space = ThreadSafeTupleSpace()
+    n = 50
+    for i in range(n):
+        space.out(Tuple("job", i))
+    taken: list = []
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            tup = space.inp(Pattern("job", Formal(int)))
+            if tup is None:
+                return
+            with lock:
+                taken.append(tup[1])
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert sorted(taken) == list(range(n))
+    assert space.count() == 0
+
+
+def test_lease_expiry_wall_clock():
+    space = ThreadSafeTupleSpace()
+    space.out(Tuple("mortal"), lease_duration=0.05)
+    assert space.rdp(Pattern("mortal")) == Tuple("mortal")
+    time.sleep(0.08)
+    assert space.rdp(Pattern("mortal")) is None
+    assert space.count() == 0
+
+
+def test_snapshot_ordering():
+    space = ThreadSafeTupleSpace()
+    for i in range(3):
+        space.out(Tuple("seq", i))
+    assert space.snapshot() == [Tuple("seq", 0), Tuple("seq", 1), Tuple("seq", 2)]
+
+
+# ---------------------------------------------------------------------------
+# ThreadedTiamatNode
+# ---------------------------------------------------------------------------
+def make_pair(visible=True):
+    registry = ThreadedNodeRegistry()
+    a = ThreadedTiamatNode(registry, "a")
+    b = ThreadedTiamatNode(registry, "b")
+    if visible:
+        registry.set_visible("a", "b")
+    return registry, a, b
+
+
+def test_logical_space_reaches_visible_peer():
+    registry, a, b = make_pair()
+    a.out(Tuple("shared", 1))
+    assert b.rdp(Pattern("shared", int)) == Tuple("shared", 1)
+    assert b.inp(Pattern("shared", int)) == Tuple("shared", 1)
+    assert a.space.count(Pattern("shared", int)) == 0
+
+
+def test_isolated_nodes_see_only_local():
+    registry, a, b = make_pair(visible=False)
+    a.out(Tuple("private"))
+    assert b.rdp(Pattern("private")) is None
+    assert a.rdp(Pattern("private")) == Tuple("private")
+
+
+def test_blocking_across_nodes_with_real_threads():
+    registry, a, b = make_pair()
+    results = []
+
+    def consumer():
+        results.append(b.in_(Pattern("work"), timeout=5.0))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    time.sleep(0.05)
+    a.out(Tuple("work"))
+    thread.join(timeout=5.0)
+    assert results == [Tuple("work")]
+
+
+def test_visibility_change_mid_block_is_opportunistic():
+    """A node that becomes visible mid-operation is used (model semantics)."""
+    registry, a, b = make_pair(visible=False)
+    a.out(Tuple("late-visible"))
+    results = []
+
+    def consumer():
+        results.append(b.rd(Pattern("late-visible"), timeout=5.0))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    time.sleep(0.05)
+    registry.set_visible("a", "b")
+    thread.join(timeout=5.0)
+    assert results == [Tuple("late-visible")]
+
+
+def test_exactly_once_across_nodes_under_contention():
+    registry = ThreadedNodeRegistry()
+    nodes = [ThreadedTiamatNode(registry, f"n{i}") for i in range(4)]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            registry.set_visible(f"n{i}", f"n{j}")
+    n = 40
+    for i in range(n):
+        nodes[i % 4].out(Tuple("job", i))
+    taken: list = []
+    lock = threading.Lock()
+
+    def worker(node):
+        while True:
+            tup = node.inp(Pattern("job", Formal(int)))
+            if tup is None:
+                return
+            with lock:
+                taken.append(tup[1])
+
+    threads = [threading.Thread(target=worker, args=(node,)) for node in nodes]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert sorted(taken) == list(range(n))
+
+
+def test_threaded_eval_deposits_result():
+    registry, a, b = make_pair()
+    thread = a.eval(lambda x: Tuple("square", x * x), 7)
+    thread.join(timeout=5.0)
+    assert b.rdp(Pattern("square", int)) == Tuple("square", 49)
+
+
+def test_blocking_timeout_returns_none():
+    registry, a, b = make_pair()
+    start = time.monotonic()
+    assert b.in_(Pattern("never"), timeout=0.1) is None
+    assert time.monotonic() - start >= 0.09

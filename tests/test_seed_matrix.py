@@ -1,0 +1,84 @@
+"""Seed-matrix robustness: the headline invariants hold across many seeds.
+
+Every other test runs one committed seed; these sweep several to make
+sure the properties the paper rests on are not one lucky schedule.
+"""
+
+import pytest
+
+from repro.core import TiamatConfig, TiamatInstance
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import ChurnInjector, Network
+from repro.sim import Simulator
+from repro.tuples import Formal, Pattern, Tuple
+
+SEEDS = (1, 7, 42, 1234, 99999)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_exactly_once_under_churn_many_seeds(seed):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    config = TiamatConfig(propagate_mode="continuous")
+    names = [f"n{i}" for i in range(6)]
+    instances = {n: TiamatInstance(sim, net, n, config=config) for n in names}
+    net.visibility.connect_clique(names)
+    churn = ChurnInjector(sim, net.visibility)
+    for name in names:
+        churn.auto_churn(name, mean_uptime=15.0, mean_downtime=4.0)
+
+    ops = []
+
+    def driver():
+        for i in range(30):
+            instances[names[i % 6]].out(
+                Tuple("unit", i),
+                requester=SimpleLeaseRequester(LeaseTerms(duration=60.0)))
+            ops.append(instances[names[(i + 3) % 6]].in_(
+                Pattern("unit", Formal(int)),
+                requester=SimpleLeaseRequester(LeaseTerms(6.0, 8))))
+            yield sim.timeout(0.7)
+
+    sim.spawn(driver())
+    sim.run(until=150.0)
+    assert all(op.done for op in ops)
+    consumed = [op.result[1] for op in ops if op.result is not None]
+    assert len(consumed) == len(set(consumed)), f"duplicate consume, seed={seed}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_competing_consumers_single_winner_many_seeds(seed):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    names = ["holder", "c1", "c2", "c3"]
+    instances = {n: TiamatInstance(sim, net, n) for n in names}
+    net.visibility.connect_clique(names)
+    instances["holder"].out(Tuple("prize"),
+                            requester=SimpleLeaseRequester(
+                                LeaseTerms(duration=500.0)))
+    ops = [instances[c].in_(Pattern("prize"),
+                            requester=SimpleLeaseRequester(LeaseTerms(10.0, 8)))
+           for c in ("c1", "c2", "c3")]
+    sim.run(until=60.0)
+    winners = [op for op in ops if op.result is not None]
+    assert len(winners) == 1, f"{len(winners)} winners at seed {seed}"
+    total = sum(instances[n].space.count(Pattern("prize")) for n in names)
+    assert total == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lease_expiry_always_terminates_ops_many_seeds(seed):
+    sim = Simulator(seed=seed)
+    net = Network(sim, loss_rate=0.3)
+    names = [f"n{i}" for i in range(4)]
+    instances = {n: TiamatInstance(sim, net, n) for n in names}
+    net.visibility.connect_clique(names)
+    ops = []
+    for i in range(12):
+        ops.append(instances[names[i % 4]].in_(
+            Pattern("never", i),
+            requester=SimpleLeaseRequester(LeaseTerms(3.0, 8))))
+    sim.run(until=60.0)
+    assert all(op.done and op.result is None for op in ops)
+    for inst in instances.values():
+        assert inst.leases.active_count == 0

@@ -1,0 +1,92 @@
+"""Unit and round-trip property tests for the wire codec."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import SerializationError
+from repro.tuples import (
+    ANY,
+    Actual,
+    Formal,
+    Pattern,
+    Range,
+    Tuple,
+    decode_pattern,
+    decode_tuple,
+    encode_pattern,
+    encode_tuple,
+    encoded_size,
+    matches,
+)
+from tests.test_matching import tuples as tuples_strategy
+
+
+def test_tuple_roundtrip_simple():
+    t = Tuple("req", 42, 2.5, b"\x00\xff", True)
+    assert decode_tuple(encode_tuple(t)) == t
+
+
+def test_tuple_roundtrip_nested():
+    t = Tuple("wrap", Tuple("inner", Tuple("deep", 1)))
+    assert decode_tuple(encode_tuple(t)) == t
+
+
+def test_bool_int_distinction_survives_roundtrip():
+    t1, t2 = Tuple("x", 1), Tuple("x", True)
+    d1, d2 = decode_tuple(encode_tuple(t1)), decode_tuple(encode_tuple(t2))
+    assert type(d1[1]) is int and type(d2[1]) is bool
+
+
+def test_pattern_roundtrip_all_spec_kinds():
+    p = Pattern(Actual("tag"), Formal(int), ANY, Range(0.0, 1.0), Formal(Tuple))
+    assert decode_pattern(encode_pattern(p)) == p
+
+
+def test_pattern_roundtrip_open_range():
+    p = Pattern("x", Range(lo=5))
+    assert decode_pattern(encode_pattern(p)) == p
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(SerializationError):
+        decode_tuple(["?", 1])
+    with pytest.raises(SerializationError):
+        decode_tuple("not-a-list")
+    with pytest.raises(SerializationError):
+        decode_tuple(["s", "a-bare-field-not-a-tuple"])
+    with pytest.raises(SerializationError):
+        decode_pattern(["p"])
+    with pytest.raises(SerializationError):
+        decode_pattern(["p", [["F", "list"]]])
+    with pytest.raises(SerializationError):
+        decode_pattern(["p", [["?"]]])
+
+
+def test_encoded_size_counts_bytes():
+    small = encoded_size(Tuple("x"))
+    large = encoded_size(Tuple("x", "y" * 1000))
+    assert 0 < small < large
+    assert large > 1000
+
+
+def test_encoded_size_of_pattern_and_raw_payload():
+    assert encoded_size(Pattern("x", int)) > 0
+    assert encoded_size({"op": "query"}) > 0
+    with pytest.raises(SerializationError):
+        encoded_size({"bad": object()})
+
+
+@given(tuples_strategy)
+def test_tuple_roundtrip_property(tup):
+    decoded = decode_tuple(encode_tuple(tup))
+    assert decoded == tup
+    assert decoded.signature == tup.signature
+
+
+@given(tuples_strategy)
+def test_roundtrip_preserves_matching(tup):
+    """A decoded tuple must match exactly the patterns the original matched."""
+    decoded = decode_tuple(encode_tuple(tup))
+    pattern = Pattern.for_tuple(tup)
+    wire_pattern = decode_pattern(encode_pattern(pattern))
+    assert matches(wire_pattern, decoded)

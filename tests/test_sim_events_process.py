@@ -1,0 +1,293 @@
+"""Unit tests for events, composite conditions, and processes."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim import AllOf, AnyOf, Simulator
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+def test_event_succeed_value_and_flags():
+    sim = Simulator()
+    ev = sim.event()
+    assert not ev.triggered
+    ev.succeed(99)
+    assert ev.triggered and ev.ok and ev.value == 99
+
+
+def test_event_fail_flags():
+    sim = Simulator()
+    ev = sim.event()
+    exc = RuntimeError("nope")
+    ev.fail(exc)
+    ev.defuse()
+    assert ev.triggered and not ev.ok and ev.value is exc
+    sim.run()
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        _ = sim.event().value
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event().succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.event().fail("not an exception")
+
+
+def test_callback_runs_at_trigger_instant():
+    sim = Simulator()
+    seen = []
+    ev = sim.event()
+    ev.add_callback(lambda e: seen.append((sim.now, e.value)))
+    sim.schedule(4.0, ev.succeed, "v")
+    sim.run()
+    assert seen == [(4.0, "v")]
+
+
+def test_callback_added_after_trigger_still_runs():
+    sim = Simulator()
+    seen = []
+    ev = sim.event()
+    sim.schedule(1.0, ev.succeed, "v")
+    sim.run()
+    ev.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["v"]
+
+
+def test_remove_callback():
+    sim = Simulator()
+    seen = []
+    ev = sim.event()
+    cb = lambda e: seen.append(1)  # noqa: E731
+    ev.add_callback(cb)
+    ev.remove_callback(cb)
+    ev.succeed()
+    sim.run()
+    assert seen == []
+
+
+def test_timeout_fires_at_deadline():
+    sim = Simulator()
+    to = sim.timeout(2.5, "done")
+    sim.run()
+    assert to.triggered and to.value == "done"
+    assert sim.now == 2.5
+
+
+def test_timeout_cancel():
+    sim = Simulator()
+    to = sim.timeout(2.5)
+    to.cancel()
+    sim.run()
+    assert not to.triggered
+
+
+# ---------------------------------------------------------------------------
+# AnyOf / AllOf
+# ---------------------------------------------------------------------------
+def test_anyof_triggers_on_first():
+    sim = Simulator()
+    fast, slow = sim.timeout(1.0, "fast"), sim.timeout(9.0, "slow")
+    any_ = AnyOf(sim, [fast, slow])
+    sim.run(until=2.0)
+    assert any_.triggered
+    assert any_.value == {fast: "fast"}
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    a, b = sim.timeout(1.0, "a"), sim.timeout(3.0, "b")
+    all_ = AllOf(sim, [a, b])
+    sim.run(until=2.0)
+    assert not all_.triggered
+    sim.run()
+    assert all_.triggered and all_.value == {a: "a", b: "b"}
+
+
+def test_empty_condition_succeeds_immediately():
+    sim = Simulator()
+    assert AnyOf(sim, []).triggered
+    assert AllOf(sim, []).triggered
+
+
+def test_condition_propagates_failure():
+    sim = Simulator()
+    ok, bad = sim.event(), sim.event()
+    all_ = AllOf(sim, [ok, bad])
+    all_.defuse()
+    bad.fail(ValueError("x"))
+    sim.run()
+    assert all_.triggered and not all_.ok
+    assert isinstance(all_.value, ValueError)
+
+
+# ---------------------------------------------------------------------------
+# Processes
+# ---------------------------------------------------------------------------
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        return "finished"
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.triggered and p.value == "finished"
+    assert sim.now == 3.0
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+    got = []
+
+    def proc(sim, ev):
+        value = yield ev
+        got.append(value)
+
+    ev = sim.event()
+    sim.spawn(proc(sim, ev))
+    sim.schedule(1.0, ev.succeed, "payload")
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return 7
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        return value * 2
+
+    p = sim.spawn(parent(sim))
+    sim.run()
+    assert p.value == 14
+
+
+def test_spawn_is_asynchronous():
+    sim = Simulator()
+    order = []
+
+    def proc(sim):
+        order.append("proc")
+        yield sim.timeout(0)
+
+    sim.spawn(proc(sim))
+    order.append("after-spawn")
+    sim.run()
+    assert order == ["after-spawn", "proc"]
+
+
+def test_unhandled_process_exception_surfaces():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("boom")
+
+    sim.spawn(bad(sim))
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_waited_on_failure_is_rethrown_in_waiter():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("boom")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(bad(sim))
+        except KeyError:
+            return "caught"
+
+    p = sim.spawn(parent(sim))
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except ProcessInterrupt as intr:
+            return ("interrupted", sim.now, intr.cause)
+
+    p = sim.spawn(sleeper(sim))
+    sim.schedule(3.0, p.interrupt, "revoked")
+    sim.run()
+    assert p.value == ("interrupted", 3.0, "revoked")
+
+
+def test_interrupt_detaches_from_awaited_event():
+    sim = Simulator()
+    resumed = []
+
+    def sleeper(sim, ev):
+        try:
+            yield ev
+            resumed.append("event")
+        except ProcessInterrupt:
+            yield sim.timeout(10.0)
+            resumed.append("post-interrupt")
+
+    ev = sim.event()
+    p = sim.spawn(sleeper(sim, ev))
+    sim.schedule(1.0, p.interrupt)
+    sim.schedule(2.0, ev.succeed)  # must NOT resume the process a second time
+    sim.run()
+    assert resumed == ["post-interrupt"]
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.spawn(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.spawn(lambda: None)
+
+
+def test_process_with_anyof_race():
+    sim = Simulator()
+
+    def racer(sim):
+        work = sim.timeout(5.0, "work")
+        deadline = sim.timeout(2.0, "deadline")
+        result = yield AnyOf(sim, [work, deadline])
+        return "deadline" in result.values()
+
+    p = sim.spawn(racer(sim))
+    sim.run()
+    assert p.value is True

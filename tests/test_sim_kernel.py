@@ -1,0 +1,186 @@
+"""Unit tests for the discrete-event kernel (clock, queue, timers)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=10.0).now == 10.0
+
+
+def test_schedule_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_fifo_order_at_same_instant():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(1.0, seen.append, i)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_interleaved_times_run_in_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.0, seen.append, "c")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_zero_delay_runs_after_already_queued_now():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.0, seen.append, 1)
+    sim.schedule(0.0, seen.append, 2)
+    sim.run()
+    assert seen == [1, 2]
+
+
+def test_callback_can_schedule_more_work():
+    sim = Simulator()
+    seen = []
+
+    def later():
+        seen.append(sim.now)
+        if sim.now < 3:
+            sim.schedule(1.0, later)
+
+    sim.schedule(1.0, later)
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_timer_cancel_prevents_callback():
+    sim = Simulator()
+    seen = []
+    timer = sim.schedule(1.0, seen.append, "x")
+    timer.cancel()
+    sim.run()
+    assert seen == []
+    assert not timer.active
+
+
+def test_timer_active_lifecycle():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    assert timer.active
+    sim.run()
+    assert timer.fired and not timer.active
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(10.0, seen.append, "late")
+    sim.run(until=5.0)
+    assert seen == ["early"]
+    assert sim.now == 5.0  # clock advanced exactly to the horizon
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_when_queue_empty():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_run_max_events():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(float(i), seen.append, i)
+    sim.run(max_events=2)
+    assert seen == [0, 1]
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, 1)
+    sim.schedule(2.0, seen.append, 2)
+    assert sim.step()
+    assert seen == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: (seen.append("a"), sim.stop()))
+    sim.schedule(2.0, seen.append, "b")
+    sim.run()
+    assert seen == ["a"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_schedule_at_in_past_clamps_to_now():
+    sim = Simulator()
+    seen = []
+
+    def cb():
+        sim.schedule_at(0.5, seen.append, sim.now)  # already past
+
+    sim.schedule(2.0, cb)
+    sim.run()
+    assert seen == [2.0]
+
+
+def test_pending_and_peek():
+    sim = Simulator()
+    assert sim.peek() is None
+    t1 = sim.schedule(3.0, lambda: None)
+    sim.schedule(7.0, lambda: None)
+    assert sim.pending == 2
+    assert sim.peek() == 3.0
+    t1.cancel()
+    assert sim.peek() == 7.0
+    assert sim.pending == 1
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def bad():
+        sim.run()
+
+    sim.schedule(1.0, bad)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4

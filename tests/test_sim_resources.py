@@ -1,0 +1,166 @@
+"""Tests for simulation synchronization primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Gate, SimResource, SimStore, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=71)
+
+
+# ---------------------------------------------------------------------------
+# SimResource
+# ---------------------------------------------------------------------------
+def test_resource_caps_concurrency(sim):
+    resource = SimResource(sim, capacity=2)
+    active = []
+    peak = [0]
+
+    def worker(i):
+        token = yield resource.acquire()
+        active.append(i)
+        peak[0] = max(peak[0], len(active))
+        yield sim.timeout(5.0)
+        active.remove(i)
+        resource.release(token)
+
+    for i in range(6):
+        sim.spawn(worker(i))
+    sim.run()
+    assert peak[0] == 2
+    assert sim.now == 15.0  # 6 workers, 2 at a time, 5s each
+
+
+def test_resource_fifo_fairness(sim):
+    resource = SimResource(sim, capacity=1)
+    order = []
+
+    def worker(i):
+        token = yield resource.acquire()
+        order.append(i)
+        yield sim.timeout(1.0)
+        resource.release(token)
+
+    for i in range(5):
+        sim.spawn(worker(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_resource_validation(sim):
+    with pytest.raises(SimulationError):
+        SimResource(sim, capacity=0)
+    resource = SimResource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_queued_count(sim):
+    resource = SimResource(sim, capacity=1)
+    resource.acquire()
+    resource.acquire()
+    resource.acquire()
+    assert resource.queued == 2
+
+
+# ---------------------------------------------------------------------------
+# SimStore
+# ---------------------------------------------------------------------------
+def test_store_put_then_get(sim):
+    store = SimStore(sim)
+    store.put("a")
+    store.put("b")
+    got = []
+
+    def getter():
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    sim.spawn(getter())
+    sim.run()
+    assert got == ["a", "b"]
+    assert len(store) == 0
+
+
+def test_store_get_blocks_until_put(sim):
+    store = SimStore(sim)
+    got = []
+
+    def getter():
+        got.append((yield store.get()))
+
+    sim.spawn(getter())
+    sim.schedule(5.0, store.put, "late")
+    sim.run()
+    assert got == ["late"]
+    assert sim.now == 5.0
+
+
+def test_store_getters_fifo(sim):
+    store = SimStore(sim)
+    got = []
+
+    def getter(i):
+        item = yield store.get()
+        got.append((i, item))
+
+    for i in range(3):
+        sim.spawn(getter(i))
+    sim.schedule(1.0, store.put, "x")
+    sim.schedule(2.0, store.put, "y")
+    sim.schedule(3.0, store.put, "z")
+    sim.run()
+    assert got == [(0, "x"), (1, "y"), (2, "z")]
+
+
+# ---------------------------------------------------------------------------
+# Gate
+# ---------------------------------------------------------------------------
+def test_gate_releases_all_waiters(sim):
+    gate = Gate(sim)
+    released = []
+
+    def waiter(i):
+        yield gate.wait()
+        released.append(i)
+
+    for i in range(4):
+        sim.spawn(waiter(i))
+    sim.schedule(3.0, gate.open)
+    sim.run()
+    assert sorted(released) == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_open_gate_passes_immediately(sim):
+    gate = Gate(sim, open_=True)
+    passed = []
+
+    def waiter():
+        yield gate.wait()
+        passed.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert passed == [0.0]
+
+
+def test_gate_close_rearms(sim):
+    gate = Gate(sim)
+    log = []
+
+    def phases():
+        yield gate.wait()
+        log.append(("first", sim.now))
+        gate.close()
+        yield gate.wait()
+        log.append(("second", sim.now))
+
+    sim.spawn(phases())
+    sim.schedule(1.0, gate.open)
+    sim.schedule(5.0, gate.open)
+    sim.run()
+    assert log == [("first", 1.0), ("second", 5.0)]

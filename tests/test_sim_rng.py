@@ -1,0 +1,56 @@
+"""Unit tests for named random streams (reproducibility guarantees)."""
+
+from repro.sim import RngStream, Simulator
+
+
+def test_same_seed_same_sequence():
+    a, b = RngStream(42), RngStream(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a, b = RngStream(1), RngStream(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_children_are_independent_of_parent_draws():
+    parent1 = RngStream(7)
+    child_before = parent1.child("net")
+    seq_before = [child_before.random() for _ in range(5)]
+
+    parent2 = RngStream(7)
+    for _ in range(100):  # extra parent draws must not shift the child stream
+        parent2.random()
+    child_after = parent2.child("net")
+    seq_after = [child_after.random() for _ in range(5)]
+    assert seq_before == seq_after
+
+
+def test_sibling_streams_differ():
+    parent = RngStream(7)
+    a, b = parent.child("mobility"), parent.child("loss")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_simulator_rng_is_cached_by_name():
+    sim = Simulator(seed=3)
+    assert sim.rng("x") is sim.rng("x")
+    assert sim.rng("x") is not sim.rng("y")
+
+
+def test_simulator_rng_reproducible_across_instances():
+    draws1 = [Simulator(seed=5).rng("w").random() for _ in range(1)]
+    draws2 = [Simulator(seed=5).rng("w").random() for _ in range(1)]
+    assert draws1 == draws2
+
+
+def test_draw_methods_cover_ranges():
+    rng = RngStream(9)
+    assert 0 <= rng.randint(0, 10) <= 10
+    assert 1.0 <= rng.uniform(1.0, 2.0) <= 2.0
+    assert rng.choice(["a"]) == "a"
+    assert sorted(rng.sample(range(10), 3))[0] >= 0
+    assert rng.expovariate(2.0) >= 0.0
+    items = list(range(10))
+    rng.shuffle(items)
+    assert sorted(items) == list(range(10))

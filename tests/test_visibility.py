@@ -1,0 +1,113 @@
+"""Unit tests for the visibility graph."""
+
+from repro.net import VisibilityGraph
+
+
+def test_nodes_start_isolated_and_up():
+    g = VisibilityGraph()
+    g.add_node("a")
+    assert g.is_up("a")
+    assert g.neighbors("a") == []
+
+
+def test_set_visible_is_symmetric():
+    g = VisibilityGraph()
+    g.set_visible("a", "b")
+    assert g.visible("a", "b") and g.visible("b", "a")
+    assert g.neighbors("a") == ["b"] and g.neighbors("b") == ["a"]
+
+
+def test_self_edge_ignored():
+    g = VisibilityGraph()
+    g.set_visible("a", "a")
+    g.add_node("a")
+    assert not g.visible("a", "a")
+
+
+def test_clear_edge():
+    g = VisibilityGraph()
+    g.set_visible("a", "b")
+    g.set_visible("a", "b", False)
+    assert not g.visible("a", "b")
+
+
+def test_connect_clique():
+    g = VisibilityGraph()
+    g.connect_clique(["a", "b", "c"])
+    assert g.visible("a", "b") and g.visible("b", "c") and g.visible("a", "c")
+
+
+def test_isolate_removes_all_edges():
+    g = VisibilityGraph()
+    g.connect_clique(["a", "b", "c"])
+    g.isolate("b")
+    assert g.neighbors("b") == []
+    assert g.visible("a", "c")  # untouched
+
+
+def test_down_node_is_invisible_but_edges_retained():
+    g = VisibilityGraph()
+    g.set_visible("a", "b")
+    g.set_up("b", False)
+    assert not g.visible("a", "b")
+    assert g.neighbors("a") == []
+    g.set_up("b", True)
+    assert g.visible("a", "b")  # edge survived the outage
+
+
+def test_edge_listener_fires_on_transitions_only():
+    g = VisibilityGraph()
+    events = []
+    g.on_edge_change(lambda a, b, v: events.append((a, b, v)))
+    g.set_visible("a", "b")
+    g.set_visible("a", "b")  # no-op: already visible
+    g.set_visible("b", "a", False)
+    assert events == [("a", "b", True), ("a", "b", False)]
+
+
+def test_node_listener_and_edge_echo_on_updown():
+    g = VisibilityGraph()
+    g.set_visible("a", "b")
+    g.set_visible("a", "c")
+    node_events, edge_events = [], []
+    g.on_node_change(lambda n, up: node_events.append((n, up)))
+    g.on_edge_change(lambda a, b, v: edge_events.append((a, b, v)))
+    g.set_up("a", False)
+    assert node_events == [("a", False)]
+    assert ("a", "b", False) in edge_events and ("a", "c", False) in edge_events
+    g.set_up("a", True)
+    assert ("a", "b", True) in edge_events
+
+
+def test_updown_edge_echo_skips_down_peers():
+    g = VisibilityGraph()
+    g.set_visible("a", "b")
+    g.set_up("b", False)
+    edge_events = []
+    g.on_edge_change(lambda a, b, v: edge_events.append((a, b, v)))
+    g.set_up("a", False)  # b is down: no a-b edge echo expected
+    assert edge_events == []
+
+
+def test_unsubscribe():
+    g = VisibilityGraph()
+    events = []
+    unsubscribe = g.on_edge_change(lambda a, b, v: events.append(1))
+    unsubscribe()
+    g.set_visible("a", "b")
+    assert events == []
+
+
+def test_transitions_counter():
+    g = VisibilityGraph()
+    g.set_visible("a", "b")
+    g.set_up("a", False)
+    g.set_visible("a", "b")  # no-op: edge already set
+    assert g.transitions == 2
+
+
+def test_nodes_sorted():
+    g = VisibilityGraph()
+    for name in ("c", "a", "b"):
+        g.add_node(name)
+    assert g.nodes() == ["a", "b", "c"]
