@@ -1,0 +1,181 @@
+"""T10: exactly-once destructive `in` under adversarial networks.
+
+The paper's protocol is explicitly best-effort; our two-phase destructive
+match (QUERY -> offer -> CLAIM_ACCEPT/REJECT) is the one place where
+best-effort is not good enough: a single lost CLAIM_ACCEPT silently
+downgrades an ``in`` from exactly-once to at-most-twice (the origin
+believes it consumed the tuple while the serving side puts it back on
+claim timeout), and a duplicated offer can be answered twice with
+contradictory verdicts.
+
+This chaos bench attacks that path with the :mod:`repro.net.faults`
+injectors and measures, per network condition and with the reliability
+sublayer ON vs OFF:
+
+* **success** — fraction of destructive ``in`` operations satisfied
+  within their lease;
+* **dup consumes** — tuples the origin believes it consumed that are
+  nevertheless still present in (or were re-taken from) the serving
+  space afterwards: the exactly-once violation count, which must be 0
+  with the sublayer on;
+* **msgs/op** — total frames (including acks and retransmissions)
+  divided by operations: the price paid for reliability.
+
+Conditions: no loss, 5% i.i.d., 20% i.i.d., and a Gilbert-Elliott burst
+regime laced with frame duplication and bounded reordering.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table
+from repro.core import TiamatConfig, TiamatInstance
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import (
+    DuplicateFrames,
+    FaultPlan,
+    GilbertElliottLoss,
+    Network,
+    ReorderFrames,
+)
+from repro.sim import Simulator
+from repro.tuples import Pattern, Tuple
+
+ITEMS = 40                    # destructive in ops per run
+SEEDS = (101, 202, 303)       # every cell aggregates these runs
+ITEM_LEASE = 2000.0           # deposits must outlive the whole run
+IN_LEASE = 10.0               # per-op effort budget
+CLAIM_TIMEOUT = 4.0           # claim window (both arms, for fairness)
+
+CONDITIONS = [
+    ("none", 0.0),
+    ("iid 5%", 0.05),
+    ("iid 20%", 0.2),
+    ("burst", "burst"),
+]
+
+
+def _burst_plan() -> FaultPlan:
+    """The adversary for the burst row: GE loss + duplication + reorder."""
+    return FaultPlan([
+        GilbertElliottLoss(p_gb=0.05, p_bg=0.5),
+        DuplicateFrames(0.08),
+        ReorderFrames(0.15, max_extra_delay=0.05),
+    ])
+
+
+def run_cell(loss_mode, reliable: bool, seed: int) -> dict:
+    """One server/consumer chaos run; returns raw counts."""
+    sim = Simulator(seed=seed)
+    loss_rate = loss_mode if isinstance(loss_mode, float) else 0.0
+    net = Network(sim, loss_rate=loss_rate)
+    if loss_mode == "burst":
+        net.use_faults(_burst_plan())
+    config = dict(reliability_enabled=reliable, claim_timeout=CLAIM_TIMEOUT)
+    server = TiamatInstance(sim, net, "server", config=TiamatConfig(**config))
+    client = TiamatInstance(sim, net, "client", config=TiamatConfig(**config))
+    net.visibility.set_visible("server", "client")
+
+    for i in range(ITEMS):
+        server.out(Tuple("item", i),
+                   requester=SimpleLeaseRequester(
+                       LeaseTerms(duration=ITEM_LEASE)))
+
+    consumed: list[int] = []
+    audit = {"ghosts": 0}
+
+    def scenario():
+        # Warm the MRU list so every measured op starts from the same
+        # steady state (discovery is best-effort and may need a retry).
+        while "server" not in client.comms.plan():
+            yield client.comms.discover()
+        net.stats.reset()
+        for i in range(ITEMS):
+            op = client.in_(Pattern("item", i),
+                            requester=SimpleLeaseRequester(
+                                LeaseTerms(duration=IN_LEASE, max_remotes=8)))
+            result = yield op.event
+            if result is not None:
+                consumed.append(i)
+        # Let outstanding claim windows resolve (a lost CLAIM_ACCEPT is
+        # put back ``claim_timeout`` after the offer), then audit against
+        # sim-level ground truth *before* the deposit leases expire: an
+        # item the client believes it consumed must be gone from the
+        # serving space — anything still there is a duplicate-consumable
+        # ghost, i.e. an exactly-once violation.
+        yield sim.timeout(2.0 * CLAIM_TIMEOUT)
+        audit["ghosts"] = sum(1 for i in consumed
+                              if server.space.count(Pattern("item", i)) > 0)
+
+    sim.spawn(scenario())
+    sim.run(until=3000.0)
+    ghosts = audit["ghosts"]
+    return {
+        "ops": ITEMS,
+        "satisfied": len(consumed),
+        "dup_consumes": ghosts,
+        "messages": net.stats.total_messages,
+        "retransmits": client.reliability.retransmits
+        + server.reliability.retransmits,
+        "dedup_drops": client.reliability.duplicates_dropped
+        + server.reliability.duplicates_dropped,
+    }
+
+
+def run_grid() -> dict:
+    """All conditions x {reliable, best-effort}, aggregated over SEEDS."""
+    grid = {}
+    for label, loss_mode in CONDITIONS:
+        for reliable in (True, False):
+            total = {"ops": 0, "satisfied": 0, "dup_consumes": 0,
+                     "messages": 0, "retransmits": 0, "dedup_drops": 0}
+            for seed in SEEDS:
+                cell = run_cell(loss_mode, reliable, seed)
+                for key in total:
+                    total[key] += cell[key]
+            grid[(label, reliable)] = total
+    return grid
+
+
+def test_t10_fault_tolerance(benchmark, report):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    table = Table(
+        "T10: destructive `in` under chaos - reliability sublayer ablation",
+        ["loss", "reliability", "success", "dup consumes", "msgs/op",
+         "retransmits", "dedup drops"],
+        caption=f"{ITEMS} ops x {len(SEEDS)} seeds per cell; burst = "
+                "Gilbert-Elliott (mean burst 2 frames) + 8% duplication "
+                "+ reordering",
+    )
+    for label, _ in CONDITIONS:
+        for reliable in (True, False):
+            cell = grid[(label, reliable)]
+            table.add_row(
+                label,
+                "on" if reliable else "off",
+                f"{cell['satisfied'] / cell['ops']:.3f}",
+                cell["dup_consumes"],
+                f"{cell['messages'] / cell['ops']:.1f}",
+                cell["retransmits"],
+                cell["dedup_drops"],
+            )
+    report.table(table)
+
+    # --- acceptance: exactly-once everywhere the sublayer is on -------
+    for label, _ in CONDITIONS:
+        on = grid[(label, True)]
+        assert on["dup_consumes"] == 0, (label, on)
+    # ... with high success even under 20% i.i.d. loss and burst loss.
+    assert grid[("iid 20%", True)]["satisfied"] >= 0.95 * grid[("iid 20%", True)]["ops"]
+    assert grid[("burst", True)]["satisfied"] >= 0.95 * grid[("burst", True)]["ops"]
+    # Clean network: both arms are perfect (the sublayer costs only acks).
+    assert grid[("none", True)]["satisfied"] == grid[("none", True)]["ops"]
+    assert grid[("none", False)]["dup_consumes"] == 0
+
+    # --- ablation: best-effort measurably degrades under fire ---------
+    off_20 = grid[("iid 20%", False)]
+    off_burst = grid[("burst", False)]
+    degraded = (off_20["dup_consumes"] + off_burst["dup_consumes"] > 0
+                or off_20["satisfied"] < grid[("iid 20%", True)]["satisfied"]
+                or off_burst["satisfied"] < grid[("burst", True)]["satisfied"])
+    assert degraded, (off_20, off_burst)

@@ -6,6 +6,7 @@
     python -m repro.cli demo --nodes 6 --duration 120 --seed 7
     python -m repro.cli compare --systems tiamat,central --nodes 8
     python -m repro.cli trace --seed 3
+    python -m repro.cli chaos --items 6 --seed 1
 
 Subcommands:
 
@@ -18,6 +19,10 @@ Subcommands:
     The T5-style comparison over any subset of the six systems.
 ``trace``
     A single distributed ``in`` with the full protocol timeline printed.
+``chaos``
+    A scripted fault scenario — burst loss, duplication, corruption, and a
+    server power-cycle — with the trace, drop-reason stats, and
+    reliability-sublayer counters printed (demo of ``repro.net.faults``).
 """
 
 from __future__ import annotations
@@ -28,7 +33,17 @@ import sys
 from repro.apps import RequestResponseWorkload
 from repro.bench import SYSTEMS, Table, build_system
 from repro.core import TiamatConfig, TiamatInstance
-from repro.net import ChurnInjector, Network, ProtocolTrace
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import (
+    ChurnInjector,
+    CorruptPayload,
+    CrashRestartInjector,
+    DuplicateFrames,
+    FaultPlan,
+    GilbertElliottLoss,
+    Network,
+    ProtocolTrace,
+)
 from repro.sim import Simulator
 from repro.tuples import Pattern, Tuple
 
@@ -117,6 +132,78 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Scripted fault scenario: chaos vs the reliability sublayer."""
+    sim = Simulator(seed=args.seed)
+    net = Network(sim)
+    plan = FaultPlan([
+        GilbertElliottLoss(p_gb=0.05, p_bg=0.5),
+        DuplicateFrames(0.1),
+        CorruptPayload(0.02),
+    ])
+    net.use_faults(plan)
+
+    registry: dict = {}
+
+    def factory(name: str) -> TiamatInstance:
+        instance = TiamatInstance(sim, net, name)
+        for peer in registry:
+            if peer != name:
+                net.visibility.set_visible(name, peer)
+        return instance
+
+    registry["server"] = factory("server")
+    registry["client"] = factory("client")
+    trace = ProtocolTrace(net).attach()
+
+    for i in range(args.items):
+        registry["server"].out(
+            Tuple("item", i),
+            requester=SimpleLeaseRequester(LeaseTerms(duration=300.0)))
+
+    # Power-cycle the server mid-run: its space round-trips persistence.
+    boom = CrashRestartInjector(sim, registry, factory)
+    boom.power_cycle("server", crash_time=2.0, restart_time=4.0)
+
+    consumed = []
+
+    def consumer():
+        client = registry["client"]
+        while "server" not in client.comms.plan():
+            yield client.comms.discover()
+        for i in range(args.items):
+            op = client.in_(Pattern("item", i),
+                            requester=SimpleLeaseRequester(
+                                LeaseTerms(duration=8.0, max_remotes=8)))
+            result = yield op.event
+            if result is not None:
+                consumed.append(i)
+            # pace the ops so the power cycle lands mid-run
+            yield sim.timeout(0.7)
+
+    sim.spawn(consumer())
+    sim.run(until=120.0)
+
+    print(f"chaos: {args.items} destructive in ops under burst loss + "
+          "duplication + corruption + a server power-cycle\n")
+    print(trace.render())
+    print(f"\nconsumed {len(consumed)}/{args.items} items "
+          f"(success rate {len(consumed) / max(1, args.items):.2f})")
+    print(f"power cycle: crashes={boom.crashes} restarts={boom.restarts} "
+          f"tuples restored={boom.tuples_restored} "
+          f"reclaimed={boom.tuples_reclaimed}")
+    print(f"fault plan: {plan.frames_seen} frames judged, "
+          f"{plan.frames_dropped} dropped")
+    print(net.stats.drop_summary())
+    for name in sorted(registry):
+        stats = registry[name].reliability.stats()
+        print(f"reliability[{name}]: sent={stats['sent']} "
+              f"retransmits={stats['retransmits']} acked={stats['acked']} "
+              f"dedup-dropped={stats['duplicates_dropped']} "
+              f"expired={stats['expired']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -137,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--duration", type=float, default=60.0)
 
     sub.add_parser("trace", help="protocol timeline of one distributed in()")
+
+    chaos = sub.add_parser("chaos", help="scripted fault-injection scenario")
+    chaos.add_argument("--items", type=int, default=6,
+                       help="destructive in ops to run (default 6)")
     return parser
 
 
@@ -145,6 +236,7 @@ _COMMANDS = {
     "demo": cmd_demo,
     "compare": cmd_compare,
     "trace": cmd_trace,
+    "chaos": cmd_chaos,
 }
 
 

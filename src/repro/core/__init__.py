@@ -40,6 +40,7 @@ from repro.core.monitoring import (
     RtsMonitor,
 )
 from repro.core.ops import Operation
+from repro.core.reliability import ReliableChannel
 from repro.core.routing import (
     RandomRelayRouter,
     Router,
@@ -56,6 +57,7 @@ __all__ = [
     "LeaseTuner",
     "Operation",
     "QueryServer",
+    "ReliableChannel",
     "RtsMonitor",
     "RandomRelayRouter",
     "Router",

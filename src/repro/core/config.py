@@ -64,6 +64,23 @@ class TiamatConfig:
         instance's local space claims a persistence mechanism.
     relay_ttl:
         Hop budget for routed (``RELAY_OUT``) tuples.
+    reliability_enabled:
+        Whether the critical protocol frames (claim resolution, offers,
+        remote deposits) travel over the ack/retransmit/dedup sublayer
+        (:mod:`repro.core.reliability`).  Off reproduces the paper's pure
+        best-effort prototype (the T10 ablation).
+    retry_initial:
+        First retransmission interval for an unacked reliable frame.
+    retry_backoff:
+        Multiplier applied to the interval after each attempt.
+    retry_max_interval:
+        Cap on the retransmission interval.
+    retry_jitter:
+        Multiplicative jitter (0..1) on each retransmission delay, so
+        synchronized losers do not retry in lockstep.
+    dedup_window:
+        How many recently-seen sequence numbers the receive-side dedup
+        window keeps per (peer, epoch).
     """
 
     propagate_mode: str = "start"
@@ -75,12 +92,22 @@ class TiamatConfig:
     default_lease_terms: dict = field(default_factory=_default_lease_terms)
     persistent_space: bool = False
     relay_ttl: int = 3
+    reliability_enabled: bool = True
+    retry_initial: float = 0.12
+    retry_backoff: float = 2.0
+    retry_max_interval: float = 1.0
+    retry_jitter: float = 0.3
+    dedup_window: int = 256
 
     def __post_init__(self) -> None:
         if self.propagate_mode not in ("start", "continuous"):
             raise ValueError(f"bad propagate_mode {self.propagate_mode!r}")
         if self.comms_strategy not in ("mru", "multicast"):
             raise ValueError(f"bad comms_strategy {self.comms_strategy!r}")
+        if self.retry_initial <= 0 or self.retry_backoff < 1.0:
+            raise ValueError("retry_initial must be > 0 and retry_backoff >= 1")
+        if self.dedup_window < 1:
+            raise ValueError("dedup_window must be >= 1")
 
     def default_terms(self, kind: OperationKind) -> LeaseTerms:
         """The default lease request for an operation kind."""

@@ -29,6 +29,7 @@ from repro.core.config import TiamatConfig
 from repro.core.evaltask import EvalTask
 from repro.core.handles import SpaceHandle
 from repro.core.ops import Operation
+from repro.core.reliability import ReliableChannel
 from repro.core.routing import RandomRelayRouter, Router, UnavailablePolicy
 from repro.core.serving import QueryServer
 from repro.errors import OperationAbandonedError
@@ -74,6 +75,8 @@ class TiamatInstance:
         self.iface = network.attach(name, self._on_message)
         self.comms = CommsManager(sim, self.iface, self.config)
         self.server = QueryServer(self)
+        self.reliability = ReliableChannel(self)
+        self._detached = False
         self.router = router if router is not None else RandomRelayRouter(
             sim.rng(f"router/{name}"))
         self._ops: dict[str, Operation] = {}
@@ -171,17 +174,18 @@ class TiamatInstance:
             except Exception:
                 event.succeed(False)
             return event
+        if not self.iface.is_visible(handle.instance_name):
+            event.succeed(False)
+            return event
         self._pending_remote_outs[rid] = event
-        sent = self.send(handle.instance_name, {
+        # The deposit is retransmitted (if reliability is on) until acked,
+        # but never past the peer-timeout that resolves the event anyway.
+        self.send_reliable(handle.instance_name, {
             "kind": protocol.REMOTE_OUT,
             "rid": rid,
             "tuple": encode_tuple(tup),
             "duration": duration,
-        })
-        if not sent:
-            self._pending_remote_outs.pop(rid, None)
-            event.succeed(False)
-            return event
+        }, deadline=self.sim.now + self.config.peer_timeout)
         self.sim.schedule(self.config.peer_timeout, self._remote_out_timeout, rid)
         return event
 
@@ -227,12 +231,12 @@ class TiamatInstance:
             self.out(tup)
             return "local"
         if self.iface.is_visible(source):
-            self.send(source, {
+            self.send_reliable(source, {
                 "kind": protocol.REMOTE_OUT,
                 "rid": next(_rids),
                 "tuple": encode_tuple(tup),
                 "duration": duration,
-            })
+            }, deadline=self.sim.now + self.config.peer_timeout)
             return "remote"
         if policy is UnavailablePolicy.LOCAL:
             self.out(tup)
@@ -308,12 +312,33 @@ class TiamatInstance:
     # ==================================================================
     def send(self, peer: str, payload: dict) -> bool:
         """Unicast a protocol frame; False if the peer was not visible."""
+        if self._detached:
+            return False  # a crashed/shut-down instance sends nothing
         return self.iface.unicast(peer, payload)
+
+    def send_reliable(self, peer: str, payload: dict,
+                      deadline: Optional[float] = None) -> bool:
+        """Send a critical frame through the ack/retransmit sublayer.
+
+        ``deadline`` (absolute virtual time, normally the funding lease's
+        expiry) bounds retransmission effort; with
+        ``config.reliability_enabled`` off this degrades to a plain
+        best-effort :meth:`send` (the paper's prototype behaviour).
+        """
+        if not self.config.reliability_enabled:
+            return self.send(peer, payload)
+        return self.reliability.send(peer, payload, deadline)
 
     def _on_message(self, msg: Message) -> None:
         kind = msg.kind
         payload = msg.payload
         src = msg.src
+        if kind == protocol.REL_ACK:
+            self.reliability.on_ack(src, payload)
+            return
+        if ("rseq" in payload and self.config.reliability_enabled
+                and not self.reliability.on_receive(src, payload)):
+            return  # duplicate of an already-dispatched reliable frame
         if kind == protocol.DISCOVER:
             self.comms.note_alive(src)
             self.send(src, {"kind": protocol.DISCOVER_ACK, "did": payload["did"]})
@@ -328,9 +353,11 @@ class TiamatInstance:
                 op.deliver_reply(src, payload)
             elif payload.get("found") and payload.get("entry_id") is not None:
                 # The operation is gone; put the held tuple back.
-                self.send(src, {"kind": protocol.CLAIM_REJECT,
-                                "op_id": payload["op_id"],
-                                "entry_id": payload["entry_id"]})
+                self.send_reliable(
+                    src, {"kind": protocol.CLAIM_REJECT,
+                          "op_id": payload["op_id"],
+                          "entry_id": payload["entry_id"]},
+                    deadline=self.sim.now + self.config.claim_timeout)
         elif kind == protocol.CANCEL:
             self.server.handle_cancel(src, payload)
         elif kind == protocol.CLAIM_ACCEPT:
@@ -359,16 +386,22 @@ class TiamatInstance:
             ok = True
         except Exception:
             ok = False
-        self.send(src, {"kind": protocol.REMOTE_OUT_ACK,
-                        "rid": payload["rid"], "ok": ok})
+        # The ack is itself reliable: if it is lost, the depositor would
+        # otherwise retransmit REMOTE_OUT, be dedup-swallowed here, and
+        # time out believing the deposit failed.
+        self.send_reliable(src, {"kind": protocol.REMOTE_OUT_ACK,
+                                 "rid": payload["rid"], "ok": ok},
+                           deadline=self.sim.now + self.config.peer_timeout)
 
     def _handle_relay_out(self, src: str, payload: dict) -> None:
         dst = payload["dst"]
         if self.iface.is_visible(dst):
             self.relays_forwarded += 1
-            self.send(dst, {"kind": protocol.REMOTE_OUT, "rid": next(_rids),
-                            "tuple": payload["tuple"],
-                            "duration": payload.get("duration")})
+            self.send_reliable(dst, {"kind": protocol.REMOTE_OUT,
+                                     "rid": next(_rids),
+                                     "tuple": payload["tuple"],
+                                     "duration": payload.get("duration")},
+                               deadline=self.sim.now + self.config.peer_timeout)
             return
         ttl = payload.get("ttl", 0)
         visited = set(payload.get("visited", []))
@@ -424,7 +457,23 @@ class TiamatInstance:
 
     # ==================================================================
     def shutdown(self) -> None:
-        """Detach from the network (the local space survives in memory)."""
+        """Detach from the network (the local space survives in memory).
+
+        Shutdown is abrupt, like a power cut: no goodbye frames are sent
+        (``send`` is suppressed first), retransmission timers are
+        cancelled, every remote serving is closed (held entries released,
+        leases returned, worker threads freed), and this instance's own
+        open operations are finalized unsatisfied so no timer or waiter
+        outlives the instance.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        self.reliability.shutdown()
+        self.server.close_all()
+        for op in list(self._ops.values()):
+            if not op.done:
+                op.cancel()
         self._unsubscribe_edges()
         self.network.detach(self.name)
 

@@ -189,11 +189,11 @@ class Operation:
             if payload.get("found"):
                 tup = decode_tuple(payload["tuple"])
                 if self.kind is OperationKind.INP:
-                    self.instance.send(peer, {
+                    self.instance.send_reliable(peer, {
                         "kind": protocol.CLAIM_ACCEPT,
                         "op_id": self.op_id,
                         "entry_id": payload["entry_id"],
-                    })
+                    }, deadline=self._claim_deadline())
                 self._finalize(tup, peer)
                 return
             # negative reply: peer is alive, move down the list
@@ -290,31 +290,57 @@ class Operation:
         entry_id = payload.get("entry_id")
         if self.done:
             if entry_id is not None:
-                self.instance.send(peer, {
+                self.instance.send_reliable(peer, {
                     "kind": protocol.CLAIM_REJECT,
                     "op_id": self.op_id,
                     "entry_id": entry_id,
-                })
+                }, deadline=self._claim_deadline())
             return
         tup = decode_tuple(payload["tuple"])
         if entry_id is not None:
-            self.instance.send(peer, {
+            self.instance.send_reliable(peer, {
                 "kind": protocol.CLAIM_ACCEPT,
                 "op_id": self.op_id,
                 "entry_id": entry_id,
-            })
+            }, deadline=self._claim_deadline())
         self._finalize(tup, peer)
+
+    def _claim_deadline(self) -> float:
+        """How long claim-resolution frames may be retransmitted.
+
+        Bounded by the operation's lease (the only effort budget, §2.5) and
+        by the serving side's claim window — after ``claim_timeout`` the
+        holder has already resolved the claim locally, so further retries
+        are pure waste.  A lease that has already expired yields a deadline
+        in the past: the frame is sent once and never retried.
+        """
+        deadline = self.instance.sim.now + self.instance.config.claim_timeout
+        if self.lease.expires_at is not None:
+            deadline = min(deadline, self.lease.expires_at)
+        return deadline
 
     # ------------------------------------------------------------------
     def _send_query(self, peer: str) -> bool:
         remaining = self.lease.remaining_time(self.instance.sim.now)
-        return self.instance.send(peer, {
+        payload = {
             "kind": protocol.QUERY,
             "op_id": self.op_id,
             "op": self.kind.value,
             "pattern": encode_pattern(self.pattern),
             "deadline": remaining,
-        })
+        }
+        if self.kind in (OperationKind.RD, OperationKind.IN):
+            # A blocking operation contacts each peer exactly once; a lost
+            # QUERY would silently amputate that peer from the logical
+            # space for the operation's whole lifetime (probes, by
+            # contrast, have their own timeout-and-move-on ladder).  So
+            # blocking QUERYs travel reliably, with retransmission effort
+            # bounded by the operation's lease — still the only budget.
+            if not self.instance.iface.is_visible(peer):
+                return False
+            return self.instance.send_reliable(
+                peer, payload, deadline=self.lease.expires_at)
+        return self.instance.send(peer, payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else "open"

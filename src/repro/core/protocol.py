@@ -26,6 +26,13 @@ remote deposit
     ``REMOTE_OUT`` / ``REMOTE_OUT_ACK`` are the handle-directed ``out``
     (section 2.4); ``RELAY_OUT`` is the optional routing of a reply-bound
     tuple through a third instance when the destination is not visible.
+
+reliability
+    ``REL_ACK`` acknowledges receipt of a *reliable* frame (one carrying
+    ``rseq``/``repoch`` fields added by
+    :class:`~repro.core.reliability.ReliableChannel`).  The ack itself is
+    never reliable: a lost ``REL_ACK`` simply triggers a retransmission of
+    the data frame, which the receiver's dedup window absorbs and re-acks.
 """
 
 from __future__ import annotations
@@ -45,10 +52,13 @@ REMOTE_OUT = "remote_out"
 REMOTE_OUT_ACK = "remote_out_ack"
 RELAY_OUT = "relay_out"
 
+REL_ACK = "rel_ack"
+
 #: Every kind, for validation and stats bucketing.
 ALL_KINDS = frozenset({
     DISCOVER, DISCOVER_ACK,
     QUERY, QUERY_REPLY, QUERY_REFUSED, CANCEL,
     CLAIM_ACCEPT, CLAIM_REJECT,
     REMOTE_OUT, REMOTE_OUT_ACK, RELAY_OUT,
+    REL_ACK,
 })

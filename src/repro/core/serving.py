@@ -59,6 +59,7 @@ class QueryServer:
         self.offers_made = 0
         self.offers_won = 0
         self.offers_put_back = 0
+        self.duplicate_queries = 0
 
     # ------------------------------------------------------------------
     # Query arrival
@@ -66,6 +67,14 @@ class QueryServer:
     def handle_query(self, origin: str, payload: dict) -> None:
         """Entry point for a QUERY frame."""
         op_id = payload["op_id"]
+        if op_id in self._servings:
+            # A duplicated (or retransmitted) QUERY for work already in
+            # progress: a second serving under the same id would overwrite
+            # the first in the table, stranding its held entry, claim
+            # timer, lease, and worker thread.  Destructive-path handlers
+            # must be idempotent, so drop it.
+            self.duplicate_queries += 1
+            return
         kind = OperationKind(payload["op"])
         pattern = decode_pattern(payload["pattern"])
         deadline = payload.get("deadline")
@@ -174,8 +183,15 @@ class QueryServer:
     def _offer(self, serving: Serving, tup: Tuple) -> None:
         serving.offered = True
         self.offers_made += 1
+        # The offer is a critical frame: a lost (or duplicated + reordered)
+        # offer breaks exactly-once, so it travels reliably, with
+        # retransmission effort bounded by the serving lease and by the
+        # claim window (after which the hold self-releases anyway).
+        deadline = self.instance.sim.now + self.instance.config.claim_timeout
+        if serving.lease.expires_at is not None:
+            deadline = min(deadline, serving.lease.expires_at)
         self._reply(serving.origin, serving.op_id, tup,
-                    entry_id=serving.held_entry_id)
+                    entry_id=serving.held_entry_id, deadline=deadline)
         serving.claim_timer = self.instance.sim.schedule(
             self.instance.config.claim_timeout, self._claim_timeout, serving)
 
@@ -248,14 +264,27 @@ class QueryServer:
         self._servings.pop(serving.op_id, None)
 
     def _reply(self, origin: str, op_id: str, tup: Optional[Tuple],
-               entry_id: Optional[int] = None) -> None:
+               entry_id: Optional[int] = None,
+               deadline: Optional[float] = None) -> None:
         payload = {"kind": protocol.QUERY_REPLY, "op_id": op_id,
                    "found": tup is not None}
         if tup is not None:
             payload["tuple"] = encode_tuple(tup)
         if entry_id is not None:
             payload["entry_id"] = entry_id
-        self.instance.send(origin, payload)
+        if deadline is not None:
+            self.instance.send_reliable(origin, payload, deadline=deadline)
+        else:
+            self.instance.send(origin, payload)
+
+    # ------------------------------------------------------------------
+    def close_all(self) -> None:
+        """Close every serving (instance shutting down): held entries go
+        back to the space, leases are returned, worker threads freed, and
+        claim timers cancelled — nothing outlives the server."""
+        for serving in list(self._servings.values()):
+            self._put_back(serving)
+            self._close(serving)
 
     @property
     def active_servings(self) -> int:

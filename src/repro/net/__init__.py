@@ -18,8 +18,24 @@ machinery experiments need around it:
 * :class:`ChurnInjector` (:mod:`repro.net.churn`) — takes nodes down and up
   on random or scripted schedules, modelling battery death, sleep, and
   departure.
+* Fault injection (:mod:`repro.net.faults`) — a :class:`FaultPlan` of
+  composable injectors (Gilbert–Elliott burst loss, duplication, bounded
+  reordering, payload corruption, one-way links) plus
+  :class:`CrashRestartInjector`, which power-cycles whole instances through
+  the persistence layer.
 """
 
+from repro.net.faults import (
+    CorruptPayload,
+    CrashRestartInjector,
+    DuplicateFrames,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottLoss,
+    OneWayLink,
+    RandomLoss,
+    ReorderFrames,
+)
 from repro.net.message import Message
 from repro.net.network import Network, NetworkInterface
 from repro.net.visibility import VisibilityGraph
@@ -37,8 +53,17 @@ from repro.net.trace import ProtocolTrace, TraceEntry
 
 __all__ = [
     "ChurnInjector",
+    "CorruptPayload",
+    "CrashRestartInjector",
+    "DuplicateFrames",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliottLoss",
     "MultiHopVisibilityDriver",
+    "OneWayLink",
     "ProtocolTrace",
+    "RandomLoss",
+    "ReorderFrames",
     "TraceEntry",
     "Message",
     "Network",

@@ -6,11 +6,20 @@ payload dict.  The payload convention throughout the repository is
 ``{"kind": <str>, ...}`` — each protocol (Tiamat, Limbo, LIME, ...) defines
 its own kinds.  Size is computed once from the encoded payload and used for
 both latency (per-byte transmission delay) and byte accounting.
+
+Every frame also carries a **checksum** over its encoded payload, computed
+at send time.  Real link layers discard damaged frames; the simulated
+network models that by letting fault injectors :meth:`corrupt` a frame in
+flight, after which :meth:`verify` fails and the network drops the frame at
+delivery time (drop reason ``corrupt``) instead of handing garbage to a
+protocol handler.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
+import zlib
 from typing import Optional
 
 from repro.tuples.serialization import encoded_size
@@ -18,23 +27,50 @@ from repro.tuples.serialization import encoded_size
 _ids = itertools.count(1)
 
 
+def payload_checksum(payload: dict) -> int:
+    """CRC32 of the canonical JSON encoding of ``payload``."""
+    encoded = json.dumps(payload, separators=(",", ":"), sort_keys=True,
+                         default=str)
+    return zlib.crc32(encoded.encode("utf-8"))
+
+
 class Message:
     """A frame in flight (or delivered) on the simulated network."""
 
-    __slots__ = ("msg_id", "src", "dst", "payload", "size", "sent_at")
+    __slots__ = ("msg_id", "src", "dst", "payload", "size", "sent_at",
+                 "checksum")
 
-    def __init__(self, src: str, dst: Optional[str], payload: dict, sent_at: float) -> None:
+    def __init__(self, src: str, dst: Optional[str], payload: dict,
+                 sent_at: float) -> None:
         self.msg_id = next(_ids)
         self.src = src
         self.dst = dst
         self.payload = payload
         self.size = encoded_size(payload)
         self.sent_at = sent_at
+        self.checksum = payload_checksum(payload)
 
     @property
     def kind(self) -> str:
         """The protocol message kind (payload ``"kind"`` key)."""
         return self.payload.get("kind", "?")
+
+    def copy_for(self, dst: Optional[str], sent_at: float) -> "Message":
+        """A fresh frame (new id) carrying the same payload to ``dst``."""
+        return Message(self.src, dst, self.payload, sent_at)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def corrupt(self) -> None:
+        """Damage the frame in flight: the payload no longer matches the
+        checksum computed at send time, so :meth:`verify` fails."""
+        self.payload = {"kind": self.payload.get("kind", "?"),
+                        "__garbled__": True}
+
+    def verify(self) -> bool:
+        """True iff the payload still matches the send-time checksum."""
+        return payload_checksum(self.payload) == self.checksum
 
     @property
     def is_multicast(self) -> bool:

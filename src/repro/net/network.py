@@ -15,6 +15,14 @@ an elaborate radio model:
   behaviour of real radios at these timescales.  Frames addressed to a node
   that is *down* at delivery time are dropped.
 
+Richer failure modes — burst loss, duplication, reordering, corruption,
+one-way links — are layered on via :meth:`Network.use_faults` and a
+:class:`~repro.net.faults.FaultPlan`; the base network stays the simple
+i.i.d. model so seeded experiments are unperturbed unless a plan is
+installed.  Every drop is attributed to a reason in
+:class:`~repro.net.stats.NetworkStats`, and an optional ``drop listener``
+lets tracers record the dropped frames themselves.
+
 Handlers attached via :meth:`Network.attach` are invoked with the delivered
 :class:`~repro.net.message.Message`.
 """
@@ -25,12 +33,19 @@ from typing import Callable, Optional
 
 from repro.errors import UnknownNodeError
 from repro.net.message import Message
-from repro.net.stats import NetworkStats
+from repro.net.stats import (
+    DROP_CORRUPT,
+    DROP_INVISIBLE,
+    DROP_LOSS,
+    DROP_NODE_DOWN,
+    NetworkStats,
+)
 from repro.net.visibility import VisibilityGraph
 from repro.sim.kernel import Simulator
 
 Handler = Callable[[Message], None]
 LatencyModel = Callable[[str, str, int], float]
+DropListener = Callable[[Message, str], None]
 
 
 def default_latency(base: float = 0.002, per_byte: float = 2e-7,
@@ -90,8 +105,10 @@ class Network:
         self.visibility = visibility if visibility is not None else VisibilityGraph()
         self.loss_rate = loss_rate
         self.stats = NetworkStats()
+        self.faults = None  # Optional[FaultPlan]
         self._handlers: dict[str, Handler] = {}
         self._loss_rng = sim.rng("net/loss")
+        self._drop_listeners: list[DropListener] = []
         factory = latency_factory if latency_factory is not None else default_latency()
         self._latency: LatencyModel = factory(self)
 
@@ -104,6 +121,8 @@ class Network:
             raise UnknownNodeError(f"node {name!r} already attached")
         self._handlers[name] = handler
         self.visibility.add_node(name)
+        # A re-attaching node (crash + restart) comes back powered up.
+        self.visibility.set_up(name, True)
         return NetworkInterface(self, name)
 
     def detach(self, name: str) -> None:
@@ -113,6 +132,26 @@ class Network:
         self.visibility.set_up(name, False)
 
     # ------------------------------------------------------------------
+    # Fault injection and drop observation
+    # ------------------------------------------------------------------
+    def use_faults(self, plan) -> "Network":
+        """Install (or clear, with ``None``) a fault plan; returns self."""
+        self.faults = plan
+        if plan is not None:
+            plan.bind(self)
+        return self
+
+    def on_drop(self, listener: DropListener) -> Callable[[], None]:
+        """Subscribe to dropped frames; returns an unsubscribe callable."""
+        self._drop_listeners.append(listener)
+        return lambda: self._drop_listeners.remove(listener)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.stats.record_drop(message.src, reason=reason)
+        for listener in list(self._drop_listeners):
+            listener(message, reason)
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def unicast(self, src: str, dst: str, payload: dict) -> bool:
@@ -120,16 +159,11 @@ class Network:
         self._require(src)
         message = Message(src, dst, payload, self.sim.now)
         if not self.visibility.visible(src, dst):
-            self.stats.record_drop(src, invisible=True)
+            self._drop(message, DROP_INVISIBLE)
             return False
-        if self._lost():
-            self.stats.record_send(src, message.size, multicast=False, kind=message.kind)
-            self.stats.record_drop(src, invisible=False)
-            return True  # dispatched, silently lost in flight
         self.stats.record_send(src, message.size, multicast=False, kind=message.kind)
-        delay = self._latency(src, dst, message.size)
-        self.sim.schedule(delay, self._deliver, message)
-        return True
+        self._dispatch(message)
+        return True  # dispatched (even if lost in flight)
 
     def multicast(self, src: str, payload: dict) -> int:
         """Deliver a copy of ``payload`` to each visible neighbour of src."""
@@ -137,24 +171,50 @@ class Network:
         neighbors = self.visibility.neighbors(src)
         probe = Message(src, None, payload, self.sim.now)
         self.stats.record_send(src, probe.size, multicast=True, kind=probe.kind)
-        delivered = 0
+        dispatched = 0
         for dst in neighbors:
-            if self._lost():
-                self.stats.record_drop(src, invisible=False)
-                continue
-            copy = Message(src, dst, payload, self.sim.now)
-            delay = self._latency(src, dst, copy.size)
-            self.sim.schedule(delay, self._deliver, copy)
-            delivered += 1
-        return delivered
+            copy = probe.copy_for(dst, self.sim.now)
+            if self._dispatch(copy):
+                dispatched += 1
+        return dispatched
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _dispatch(self, message: Message) -> bool:
+        """Run loss + fault decisions for one frame; True if any copy flies."""
+        if self._lost():
+            self._drop(message, DROP_LOSS)
+            return False  # silently lost in flight
+        if self.faults is None:
+            self._schedule_delivery(message, 0.0)
+            return True
+        verdict = self.faults.judge(message)
+        if verdict.dropped:
+            self._drop(message, verdict.drop_reason)
+            return False
+        first = True
+        for delivery in verdict.deliveries:
+            copy = message if first else message.copy_for(message.dst,
+                                                          message.sent_at)
+            first = False
+            if delivery.corrupt:
+                copy.corrupt()
+            self._schedule_delivery(copy, delivery.extra_delay)
+        return True
+
+    def _schedule_delivery(self, message: Message, extra_delay: float) -> None:
+        delay = self._latency(message.src, message.dst, message.size)
+        self.sim.schedule(delay + extra_delay, self._deliver, message)
+
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.dst)
         if handler is None or not self.visibility.is_up(message.dst):
-            self.stats.record_drop(message.src, invisible=True)
+            self._drop(message, DROP_NODE_DOWN)
+            return
+        if self.faults is not None and not message.verify():
+            # The receiver's frame checksum rejects damaged payloads.
+            self._drop(message, DROP_CORRUPT)
             return
         self.stats.record_receive(message.dst, message.size)
         handler(message)

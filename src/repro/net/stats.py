@@ -3,11 +3,29 @@
 Every benchmark in the harness reports communication cost (messages per
 operation, bytes per node), so the network keeps cheap, always-on counters
 rather than an optional tracing layer.
+
+Drops are attributed to a *reason* so chaos runs are debuggable: a frame
+that never arrived was either addressed to an invisible peer
+(``invisible``), lost to the network's i.i.d. loss model (``loss``),
+addressed to a node that was down at delivery time (``node_down``),
+swallowed by a fault injector (``fault``), or damaged in flight and
+rejected by the receiver's checksum (``corrupt``).
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from typing import Optional
+
+#: Canonical drop reasons (fault injectors may add their own).
+DROP_INVISIBLE = "invisible"   # destination not visible at send time
+DROP_LOSS = "loss"             # the network's i.i.d. random loss
+DROP_NODE_DOWN = "node_down"   # destination down/detached at delivery time
+DROP_FAULT = "fault"           # swallowed by an injected fault
+DROP_CORRUPT = "corrupt"       # payload damaged in flight, checksum failed
+
+DROP_REASONS = (DROP_INVISIBLE, DROP_LOSS, DROP_NODE_DOWN, DROP_FAULT,
+                DROP_CORRUPT)
 
 
 class NodeStats:
@@ -15,8 +33,7 @@ class NodeStats:
 
     __slots__ = (
         "sent_unicast", "sent_multicast", "received",
-        "bytes_sent", "bytes_received", "dropped_invisible", "dropped_loss",
-        "by_kind",
+        "bytes_sent", "bytes_received", "drops", "by_kind",
     )
 
     def __init__(self) -> None:
@@ -25,14 +42,33 @@ class NodeStats:
         self.received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
-        self.dropped_invisible = 0
-        self.dropped_loss = 0
+        self.drops: Counter = Counter()
         self.by_kind: Counter = Counter()
 
     @property
     def sent(self) -> int:
         """Total frames originated (unicast sends + multicast transmissions)."""
         return self.sent_unicast + self.sent_multicast
+
+    @property
+    def dropped(self) -> int:
+        """Total frames that never arrived, any reason."""
+        return sum(self.drops.values())
+
+    @property
+    def dropped_invisible(self) -> int:
+        """Drops because the destination was unreachable (legacy rollup).
+
+        Historically the single "invisible" counter covered both
+        not-visible-at-send and down-at-delivery; the rollup keeps that
+        meaning while :attr:`drops` carries the per-reason split.
+        """
+        return self.drops[DROP_INVISIBLE] + self.drops[DROP_NODE_DOWN]
+
+    @property
+    def dropped_loss(self) -> int:
+        """Drops from the i.i.d. loss model."""
+        return self.drops[DROP_LOSS]
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot for reports."""
@@ -44,6 +80,7 @@ class NodeStats:
             "bytes_received": self.bytes_received,
             "dropped_invisible": self.dropped_invisible,
             "dropped_loss": self.dropped_loss,
+            "drops": dict(self.drops),
         }
 
 
@@ -55,6 +92,7 @@ class NetworkStats:
         self.total_messages = 0
         self.total_bytes = 0
         self.total_dropped = 0
+        self.drops_by_reason: Counter = Counter()
 
     def node(self, name: str) -> NodeStats:
         """The (auto-created) counters for a node."""
@@ -82,14 +120,26 @@ class NetworkStats:
         stats.received += 1
         stats.bytes_received += size
 
-    def record_drop(self, src: str, invisible: bool) -> None:
-        """Account a frame that never arrived."""
-        stats = self.node(src)
-        if invisible:
-            stats.dropped_invisible += 1
-        else:
-            stats.dropped_loss += 1
+    def record_drop(self, src: str, invisible: Optional[bool] = None,
+                    reason: Optional[str] = None) -> None:
+        """Account a frame that never arrived.
+
+        Callers either name a ``reason`` directly or use the legacy
+        ``invisible`` boolean (True → ``invisible``, False → ``loss``).
+        """
+        if reason is None:
+            reason = DROP_INVISIBLE if invisible else DROP_LOSS
+        self.node(src).drops[reason] += 1
+        self.drops_by_reason[reason] += 1
         self.total_dropped += 1
+
+    def drop_summary(self) -> str:
+        """One-line per-reason drop rendering for logs and the CLI."""
+        if not self.drops_by_reason:
+            return "drops: none"
+        parts = [f"{reason}={count}" for reason, count
+                 in sorted(self.drops_by_reason.items())]
+        return "drops: " + " ".join(parts)
 
     def reset(self) -> None:
         """Zero all counters (used between benchmark phases)."""
@@ -97,3 +147,4 @@ class NetworkStats:
         self.total_messages = 0
         self.total_bytes = 0
         self.total_dropped = 0
+        self.drops_by_reason.clear()

@@ -23,19 +23,22 @@ FrameFilter = Callable[[Message], bool]
 class TraceEntry:
     """One captured frame delivery (or drop)."""
 
-    __slots__ = ("time", "src", "dst", "kind", "payload", "dropped")
+    __slots__ = ("time", "src", "dst", "kind", "payload", "dropped",
+                 "drop_reason")
 
     def __init__(self, time: float, src: str, dst: Optional[str], kind: str,
-                 payload: dict, dropped: bool = False) -> None:
+                 payload: dict, dropped: bool = False,
+                 drop_reason: Optional[str] = None) -> None:
         self.time = time
         self.src = src
         self.dst = dst
         self.kind = kind
         self.payload = payload
         self.dropped = dropped
+        self.drop_reason = drop_reason
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        flag = " DROPPED" if self.dropped else ""
+        flag = f" DROPPED({self.drop_reason})" if self.dropped else ""
         return f"<TraceEntry t={self.time:.3f} {self.src}->{self.dst} {self.kind}{flag}>"
 
 
@@ -44,18 +47,22 @@ class ProtocolTrace:
 
     The tracer wraps every node's delivery handler (including nodes
     attached after the tracer starts), so it sees exactly what the nodes
-    see.  Stop with :meth:`detach`.
+    see.  With ``capture_drops`` (the default) it also subscribes to the
+    network's drop listener, so lost/faulted frames appear in the timeline
+    with their drop reason.  Stop with :meth:`detach`.
     """
 
     def __init__(self, network: Network, frame_filter: Optional[FrameFilter] = None,
-                 max_entries: int = 100_000) -> None:
+                 max_entries: int = 100_000, capture_drops: bool = True) -> None:
         self.network = network
         self.filter = frame_filter
         self.max_entries = max_entries
+        self.capture_drops = capture_drops
         self.entries: list[TraceEntry] = []
         self._wrapped: dict[str, Callable] = {}
         self._original_attach = network.attach
         self._attached = False
+        self._unsubscribe_drops = None
 
     # ------------------------------------------------------------------
     def attach(self) -> "ProtocolTrace":
@@ -74,6 +81,8 @@ class ProtocolTrace:
             return iface
 
         network.attach = attach_and_wrap
+        if self.capture_drops:
+            self._unsubscribe_drops = network.on_drop(self._record_drop)
         return self
 
     def detach(self) -> None:
@@ -86,6 +95,9 @@ class ProtocolTrace:
                 self.network._handlers[name] = original
         self._wrapped.clear()
         self.network.attach = self._original_attach
+        if self._unsubscribe_drops is not None:
+            self._unsubscribe_drops()
+            self._unsubscribe_drops = None
 
     def _wrap(self, name: str) -> None:
         if name in self._wrapped:
@@ -108,10 +120,24 @@ class ProtocolTrace:
         self.entries.append(TraceEntry(self.network.sim.now, msg.src, msg.dst,
                                        msg.kind, msg.payload))
 
+    def _record_drop(self, msg: Message, reason: str) -> None:
+        if self.filter is not None and not self.filter(msg):
+            return
+        if len(self.entries) >= self.max_entries:
+            return
+        self.entries.append(TraceEntry(self.network.sim.now, msg.src, msg.dst,
+                                       msg.kind, msg.payload, dropped=True,
+                                       drop_reason=reason))
+
     # ------------------------------------------------------------------
     def by_kind(self, kind: str) -> list[TraceEntry]:
         """Captured entries of one protocol kind."""
         return [e for e in self.entries if e.kind == kind]
+
+    def drops(self, reason: Optional[str] = None) -> list[TraceEntry]:
+        """Captured drops, optionally filtered to one reason."""
+        return [e for e in self.entries if e.dropped
+                and (reason is None or e.drop_reason == reason)]
 
     def between(self, a: str, b: str) -> list[TraceEntry]:
         """Captured entries exchanged (either direction) between a and b."""
@@ -129,8 +155,9 @@ class ProtocolTrace:
         for entry in entries:
             dst = entry.dst if entry.dst is not None else "*"
             payload = {k: v for k, v in entry.payload.items() if k != "kind"}
+            flag = f"  !DROP({entry.drop_reason})" if entry.dropped else ""
             lines.append(f"t={entry.time:9.3f}  {entry.src} -> {dst:<10} "
-                         f"{entry.kind:<14} {payload}")
+                         f"{entry.kind:<14} {payload}{flag}")
         return "\n".join(lines)
 
     def __len__(self) -> int:

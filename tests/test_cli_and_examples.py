@@ -45,6 +45,15 @@ def test_cli_trace(capsys):
     assert "claim_accept" in out
 
 
+def test_cli_chaos(capsys):
+    assert main(["--seed", "1", "chaos", "--items", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "power cycle: crashes=1 restarts=1" in out
+    assert "drops:" in out
+    assert "reliability[client]" in out
+    assert "rel_ack" in out  # the sublayer is visible in the trace
+
+
 def test_cli_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -68,6 +68,7 @@ def test_all_kinds_is_complete_and_unique():
         protocol.QUERY, protocol.QUERY_REPLY, protocol.QUERY_REFUSED,
         protocol.CANCEL, protocol.CLAIM_ACCEPT, protocol.CLAIM_REJECT,
         protocol.REMOTE_OUT, protocol.REMOTE_OUT_ACK, protocol.RELAY_OUT,
+        protocol.REL_ACK,
     ]
     assert len(kinds) == len(set(kinds))
     assert protocol.ALL_KINDS == frozenset(kinds)
