@@ -66,12 +66,14 @@ def run_grant_cycle():
         op = instance.inp(Pattern("item", i))
         sim.run(until=sim.now + 3.0)
         assert op.result == Tuple("item", i)
-    return instance.leases.grants
+    return instance.leases.grants, sim.obs.registry
 
 
 def test_fig2_architecture(benchmark, report):
     audit = run_refusal_audit()
-    grants = benchmark.pedantic(run_grant_cycle, rounds=1, iterations=1)
+    grants, registry = benchmark.pedantic(run_grant_cycle, rounds=1,
+                                          iterations=1)
+    report.metrics(registry)
 
     table = Table(
         "Figure 2: lease manager is the first point of contact",

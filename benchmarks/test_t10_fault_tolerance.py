@@ -118,6 +118,7 @@ def run_cell(loss_mode, reliable: bool, seed: int) -> dict:
         + server.reliability.retransmits,
         "dedup_drops": client.reliability.duplicates_dropped
         + server.reliability.duplicates_dropped,
+        "registry": sim.obs.registry,
     }
 
 
@@ -133,11 +134,15 @@ def run_grid() -> dict:
                 for key in total:
                     total[key] += cell[key]
             grid[(label, reliable)] = total
+            # Keep the telemetry of the last (burst, reliable) style cell:
+            # the report gets one full registry snapshot for cross-checking.
+            grid["_registry"] = cell["registry"]
     return grid
 
 
 def test_t10_fault_tolerance(benchmark, report):
     grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    report.metrics(grid.pop("_registry"))
 
     table = Table(
         "T10: destructive `in` under chaos - reliability sublayer ablation",

@@ -5,8 +5,9 @@
     python -m repro.cli quickstart
     python -m repro.cli demo --nodes 6 --duration 120 --seed 7
     python -m repro.cli compare --systems tiamat,central --nodes 8
-    python -m repro.cli trace --seed 3
+    python -m repro.cli trace --seed 3 --loss 0.05 --chrome trace.json
     python -m repro.cli chaos --items 6 --seed 1
+    python -m repro.cli stats --nodes 8 --duration 30 --format prom
 
 Subcommands:
 
@@ -18,16 +19,23 @@ Subcommands:
 ``compare``
     The T5-style comparison over any subset of the six systems.
 ``trace``
-    A single distributed ``in`` with the full protocol timeline printed.
+    A single distributed ``in`` with the full protocol timeline, the
+    per-operation causal span waterfall (``repro.obs``), and optional
+    Chrome trace-event JSON export (``--chrome``, Perfetto-loadable).
 ``chaos``
     A scripted fault scenario — burst loss, duplication, corruption, and a
     server power-cycle — with the trace, drop-reason stats, and
     reliability-sublayer counters printed (demo of ``repro.net.faults``).
+``stats``
+    Run the standard workload on a Tiamat cluster and dump the full
+    metrics registry (Prometheus text or JSON), optionally with the
+    kernel's per-handler profile (``--profile``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.apps import RequestResponseWorkload
@@ -115,20 +123,46 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Print the full protocol timeline of one distributed in()."""
+    """Print the protocol timeline + causal span tree of one distributed in()."""
     sim = Simulator(seed=args.seed)
-    net = Network(sim)
+    net = Network(sim, loss_rate=args.loss)
     a = TiamatInstance(sim, net, "a")
     b = TiamatInstance(sim, net, "b")
     c = TiamatInstance(sim, net, "c")
     net.visibility.connect_clique(["a", "b", "c"])
     trace = ProtocolTrace(net).attach()
+    tracer = sim.obs.start_trace(net)
     b.out(Tuple("target", 1))
     c.out(Tuple("target", 2))
     op = a.in_(Pattern("target", int))
     sim.run(until=10.0)
     print(f"a consumed {op.result} from {op.source}\n")
     print(trace.render())
+    print(f"\ncausal span tree for {op.op_id}:\n")
+    print(tracer.waterfall(op.op_id))
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            fh.write(tracer.chrome_trace(op.op_id))
+        print(f"\nchrome trace written to {args.chrome} "
+              "(load in Perfetto or chrome://tracing)")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run the standard workload and dump the whole metrics registry."""
+    sim, network, nodes = build_system("tiamat", args.nodes, seed=args.seed)
+    if args.profile:
+        sim.enable_profiling()
+    sim.run(until=5.0)
+    workload = RequestResponseWorkload(sim, nodes, sim.rng("cli"),
+                                       period=2.0, op_timeout=8.0)
+    workload.start(duration=args.duration)
+    sim.run(until=5.0 + args.duration + 20.0)
+    registry = sim.obs.registry
+    if args.format == "json":
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(registry.render_prometheus(), end="")
     return 0
 
 
@@ -223,11 +257,25 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--nodes", type=int, default=8)
     compare.add_argument("--duration", type=float, default=60.0)
 
-    sub.add_parser("trace", help="protocol timeline of one distributed in()")
+    trace = sub.add_parser(
+        "trace", help="protocol timeline + span tree of one distributed in()")
+    trace.add_argument("--loss", type=float, default=0.0,
+                       help="i.i.d. frame loss rate (default 0)")
+    trace.add_argument("--chrome", metavar="PATH", default=None,
+                       help="write Chrome trace-event JSON to PATH")
 
     chaos = sub.add_parser("chaos", help="scripted fault-injection scenario")
     chaos.add_argument("--items", type=int, default=6,
                        help="destructive in ops to run (default 6)")
+
+    stats = sub.add_parser(
+        "stats", help="run the standard workload and dump the metrics registry")
+    stats.add_argument("--nodes", type=int, default=8)
+    stats.add_argument("--duration", type=float, default=30.0)
+    stats.add_argument("--format", choices=("prom", "json"), default="prom",
+                       help="output format (default prom)")
+    stats.add_argument("--profile", action="store_true",
+                       help="enable the kernel's per-handler profiler")
     return parser
 
 
@@ -237,6 +285,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "trace": cmd_trace,
     "chaos": cmd_chaos,
+    "stats": cmd_stats,
 }
 
 

@@ -32,7 +32,7 @@ from repro.core.ops import Operation
 from repro.core.reliability import ReliableChannel
 from repro.core.routing import RandomRelayRouter, Router, UnavailablePolicy
 from repro.core.serving import QueryServer
-from repro.errors import OperationAbandonedError
+from repro.errors import LeaseError, OperationAbandonedError
 from repro.leasing import (
     LeaseManager,
     LeaseRequester,
@@ -93,6 +93,7 @@ class TiamatInstance:
         self.ops_unsatisfied = 0
         self.relays_forwarded = 0
         self.relays_dropped = 0
+        sim.obs.observe_instance(self)
 
     # ==================================================================
     # Application API: the six operations on the logical space
@@ -264,12 +265,22 @@ class TiamatInstance:
     def _start_op(self, kind: OperationKind, pattern: Pattern,
                   requester: Optional[LeaseRequester],
                   target: Optional[str] = None) -> Operation:
-        lease = self.leases.negotiate(self._requester(kind, requester), kind)
+        tracer = self.sim.obs.tracer
+        try:
+            lease = self.leases.negotiate(self._requester(kind, requester), kind)
+        except LeaseError:
+            if tracer is not None:
+                tracer.lease_event(None, self.name, "refused", op=kind.value)
+            raise
         op = Operation(self, kind, pattern, lease)
         if target is not None:
             op.target = target
         self._ops[op.op_id] = op
         self.ops_started += 1
+        if tracer is not None:
+            tracer.op_started(op.op_id, self.name, kind.value,
+                              target=target,
+                              lease_expires=lease.expires_at)
         op.start()
         return op
 

@@ -162,10 +162,23 @@ class AppMonitor:
         self.sim = sim
         self.history: deque = deque(maxlen=history)
         self.op_mix: Counter = Counter()
+        self._attached: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     def attach(self, instance) -> None:
-        """Auto-record every operation the instance starts."""
+        """Auto-record every operation the instance starts.
+
+        Idempotent: attaching the same instance twice is a no-op (the
+        wrapper is installed once, so operations are never double-counted)
+        and reversible via :meth:`detach`, which restores the original
+        ``_start_op``.
+        """
+        if id(instance) in self._attached:
+            return
+        # Remember whether _start_op was already overridden on the
+        # *instance* (a stacked monitor) or still the plain class method,
+        # so detach can restore exactly that state.
+        had_override = "_start_op" in vars(instance)
         original = instance._start_op
 
         def wrapped(kind, pattern, requester, target=None):
@@ -175,7 +188,28 @@ class AppMonitor:
                 lambda event: self.resolve(record, event.value is not None))
             return op
 
+        self._attached[id(instance)] = (instance, original, wrapped,
+                                        had_override)
         instance._start_op = wrapped
+
+    def detach(self, instance) -> None:
+        """Stop recording the instance's operations (history is retained).
+
+        Restores the original ``_start_op`` if our wrapper is still the
+        installed one; if another monitor wrapped on top of us since, the
+        chain is left intact (detaching would silently disconnect them)
+        and this monitor simply keeps recording until they unwind.
+        Detaching an instance that was never attached is a no-op.
+        """
+        entry = self._attached.pop(id(instance), None)
+        if entry is None:
+            return
+        _, original, wrapped, had_override = entry
+        if instance._start_op is wrapped:
+            if had_override:
+                instance._start_op = original
+            else:
+                del instance._start_op  # back to the plain class method
 
     def observe(self, kind: str, pattern: Optional[Pattern]) -> OpRecord:
         """Record the start of an operation."""

@@ -128,6 +128,10 @@ class Operation:
                 self.instance.send(peer, {"kind": protocol.CANCEL, "op_id": self.op_id})
         if self.lease.active:
             self.lease.release()
+        tracer = self.instance.sim.obs.tracer
+        if tracer is not None:
+            tracer.op_finished(self.op_id, self.instance.name,
+                               result is not None, source)
         self.event.succeed(result)
         self.instance._operation_finished(self)
 

@@ -105,6 +105,9 @@ class ReliableChannel:
         self.expired = 0
         self.duplicates_dropped = 0
         self.acks_sent = 0
+        #: Optional ``fn(delay_seconds)`` fed each chosen backoff delay
+        #: (installed by ``Observability.observe_reliability``).
+        self.backoff_observer = None
 
     # ------------------------------------------------------------------
     # Sending
@@ -147,6 +150,8 @@ class ReliableChannel:
         # Schedule the next attempt (with jitter), but never past deadline.
         delay = pending.interval * (1.0 + self.config.retry_jitter
                                     * self._rng.random())
+        if self.backoff_observer is not None:
+            self.backoff_observer(delay)
         pending.interval = min(pending.interval * self.config.retry_backoff,
                                self.config.retry_max_interval)
         if pending.deadline is not None and sim.now + delay >= pending.deadline:

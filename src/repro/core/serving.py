@@ -78,9 +78,13 @@ class QueryServer:
         kind = OperationKind(payload["op"])
         pattern = decode_pattern(payload["pattern"])
         deadline = payload.get("deadline")
+        tracer = self.instance.sim.obs.tracer
         lease = self._negotiate_serving_lease(kind, deadline)
         if lease is None:
             self.refused += 1
+            if tracer is not None:
+                tracer.lease_event(op_id, self.instance.name, "refused",
+                                   reason="serving_lease")
             self.instance.send(origin, {
                 "kind": protocol.QUERY_REFUSED, "op_id": op_id, "found": False,
             })
@@ -91,11 +95,17 @@ class QueryServer:
         if thread_token is None:
             lease.release()
             self.refused += 1
+            if tracer is not None:
+                tracer.lease_event(op_id, self.instance.name, "refused",
+                                   reason="threads_exhausted")
             self.instance.send(origin, {
                 "kind": protocol.QUERY_REFUSED, "op_id": op_id, "found": False,
             })
             return
         self.served += 1
+        if tracer is not None:
+            tracer.note(op_id, self.instance.name, "serve_started",
+                        op=kind.value)
         if kind in (OperationKind.RDP, OperationKind.INP):
             self._serve_probe(origin, op_id, kind, pattern, lease, thread_token)
         else:
@@ -217,12 +227,19 @@ class QueryServer:
         """No accept/reject arrived: the origin is gone; put the tuple back."""
         if serving.closed or serving.held_entry_id is None:
             return
+        tracer = self.instance.sim.obs.tracer
+        if tracer is not None:
+            tracer.note(serving.op_id, self.instance.name, "claim_timeout")
         self._put_back(serving)
         self._close(serving)
 
     def _put_back(self, serving: Serving) -> None:
         if serving.held_entry_id is not None:
             self.offers_put_back += 1
+            tracer = self.instance.sim.obs.tracer
+            if tracer is not None:
+                tracer.note(serving.op_id, self.instance.name, "put_back",
+                            entry_id=serving.held_entry_id)
             self.instance.space.release(serving.held_entry_id)
             serving.held_entry_id = None
 

@@ -65,6 +65,7 @@ class LeaseManager:
         self.sockets = ResourceFactory("sockets", socket_capacity)
         self.active: dict[int, Lease] = {}
         # statistics
+        self.negotiations = 0
         self.grants = 0
         self.refusals = 0
         self.requester_rejections = 0
@@ -87,6 +88,7 @@ class LeaseManager:
         the offer.  Either way, per the model, the caller must do no
         further work on the operation.
         """
+        self.negotiations += 1
         requested = requester.desired()
         if operation.is_deposit and storage_needed:
             wanted = requested.storage_bytes

@@ -46,6 +46,7 @@ from repro.sim.kernel import Simulator
 Handler = Callable[[Message], None]
 LatencyModel = Callable[[str, str, int], float]
 DropListener = Callable[[Message, str], None]
+FrameListener = Callable[[str, Message], None]
 
 
 def default_latency(base: float = 0.002, per_byte: float = 2e-7,
@@ -109,8 +110,10 @@ class Network:
         self._handlers: dict[str, Handler] = {}
         self._loss_rng = sim.rng("net/loss")
         self._drop_listeners: list[DropListener] = []
+        self._frame_listeners: list[FrameListener] = []
         factory = latency_factory if latency_factory is not None else default_latency()
         self._latency: LatencyModel = factory(self)
+        sim.obs.observe_network(self)
 
     # ------------------------------------------------------------------
     # Attachment
@@ -145,6 +148,22 @@ class Network:
         """Subscribe to dropped frames; returns an unsubscribe callable."""
         self._drop_listeners.append(listener)
         return lambda: self._drop_listeners.remove(listener)
+
+    def on_frame(self, listener: FrameListener) -> Callable[[], None]:
+        """Subscribe to frame lifecycle events; returns an unsubscriber.
+
+        The listener is invoked as ``listener(phase, message)`` with phase
+        ``"send"`` (one call per in-flight copy, i.e. per destination for
+        multicasts) and ``"deliver"`` (the frame reached its handler).
+        Drops are reported through :meth:`on_drop`.  With no listeners the
+        notification is a single falsy check — observationally free.
+        """
+        self._frame_listeners.append(listener)
+        return lambda: self._frame_listeners.remove(listener)
+
+    def _notify_frame(self, phase: str, message: Message) -> None:
+        for listener in list(self._frame_listeners):
+            listener(phase, message)
 
     def _drop(self, message: Message, reason: str) -> None:
         self.stats.record_drop(message.src, reason=reason)
@@ -183,6 +202,8 @@ class Network:
     # ------------------------------------------------------------------
     def _dispatch(self, message: Message) -> bool:
         """Run loss + fault decisions for one frame; True if any copy flies."""
+        if self._frame_listeners:
+            self._notify_frame("send", message)
         if self._lost():
             self._drop(message, DROP_LOSS)
             return False  # silently lost in flight
@@ -217,6 +238,8 @@ class Network:
             self._drop(message, DROP_CORRUPT)
             return
         self.stats.record_receive(message.dst, message.size)
+        if self._frame_listeners:
+            self._notify_frame("deliver", message)
         handler(message)
 
     def _lost(self) -> bool:

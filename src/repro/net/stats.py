@@ -71,7 +71,12 @@ class NodeStats:
         return self.drops[DROP_LOSS]
 
     def as_dict(self) -> dict:
-        """Plain-dict snapshot for reports."""
+        """Plain-dict snapshot for reports.
+
+        Includes the per-kind frame breakdown (``by_kind``) and the full
+        per-reason ``drops`` split, so report JSON lines up with what
+        :meth:`NetworkStats.drop_summary` and the trace show.
+        """
         return {
             "sent_unicast": self.sent_unicast,
             "sent_multicast": self.sent_multicast,
@@ -81,6 +86,7 @@ class NodeStats:
             "dropped_invisible": self.dropped_invisible,
             "dropped_loss": self.dropped_loss,
             "drops": dict(self.drops),
+            "by_kind": dict(self.by_kind),
         }
 
 

@@ -12,6 +12,7 @@ used in debugging sessions and a few documentation examples::
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Optional
 
 from repro.net.message import Message
@@ -117,8 +118,11 @@ class ProtocolTrace:
             return
         if len(self.entries) >= self.max_entries:
             return
+        # Deep-copy the payload at capture time: handlers (and fault
+        # injectors) may mutate it in place afterwards, which would
+        # silently falsify the captured timeline.
         self.entries.append(TraceEntry(self.network.sim.now, msg.src, msg.dst,
-                                       msg.kind, msg.payload))
+                                       msg.kind, copy.deepcopy(msg.payload)))
 
     def _record_drop(self, msg: Message, reason: str) -> None:
         if self.filter is not None and not self.filter(msg):
@@ -126,8 +130,8 @@ class ProtocolTrace:
         if len(self.entries) >= self.max_entries:
             return
         self.entries.append(TraceEntry(self.network.sim.now, msg.src, msg.dst,
-                                       msg.kind, msg.payload, dropped=True,
-                                       drop_reason=reason))
+                                       msg.kind, copy.deepcopy(msg.payload),
+                                       dropped=True, drop_reason=reason))
 
     # ------------------------------------------------------------------
     def by_kind(self, kind: str) -> list[TraceEntry]:

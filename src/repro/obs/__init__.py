@@ -1,0 +1,44 @@
+"""``repro.obs`` — causal operation tracing and the unified metrics registry.
+
+Two pillars (see ``docs/API.md`` § Observability):
+
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket histograms
+  with labels, fed across the whole stack (network, leasing, reliability,
+  tuple stores, serving, the simulation kernel), exported as Prometheus
+  text and JSON snapshots.
+* :class:`Tracer` — opt-in causal tracing keyed on operation ids: the full
+  distributed span tree of one ``in()``/``rd()``/probe, including drops,
+  retransmits, and lease refusals, rendered as a text waterfall or Chrome
+  trace-event JSON (loadable in Perfetto).
+
+Both hang off a per-runtime :class:`Observability` hub — ``sim.obs`` under
+the simulation kernel (virtual clock), the thread-safe registry of
+:mod:`repro.runtime` under real threads (wall clock).  Everything here is
+stdlib-only and observationally passive: telemetry never perturbs a seeded
+experiment.
+"""
+
+from repro.obs.hub import Observability
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Observability",
+    "TraceEvent",
+    "Tracer",
+]

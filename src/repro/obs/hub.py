@@ -1,0 +1,278 @@
+"""The observability hub: one registry + one (optional) tracer per runtime.
+
+Every runtime — each :class:`~repro.sim.kernel.Simulator` and each
+real-thread registry — owns one :class:`Observability` hub, reached lazily
+through ``sim.obs`` so simulations that never look at telemetry never build
+any.  The hub bundles:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` that the whole stack feeds
+  (network, lease managers, the reliability sublayer, tuple stores, query
+  servers, and the kernel itself) — almost entirely through *collect-time
+  callbacks* over the components' existing cheap counters, so the hot path
+  is untouched and snapshots can never drift from component accounting;
+* an opt-in :class:`~repro.obs.tracing.Tracer`
+  (:meth:`Observability.start_trace`) for causal per-operation timelines.
+
+Both are **observationally passive**: registering collectors consumes no
+randomness and schedules no events, so a telemetered run of seed *s* is
+bit-identical to a bare run of seed *s*.
+
+The clock is injected: virtual time under the simulation kernel, wall time
+under :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Tracer
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Per-runtime telemetry hub: the registry plus the opt-in tracer."""
+
+    def __init__(self, clock: Callable[[], float],
+                 thread_safe: bool = False) -> None:
+        self.clock = clock
+        self.registry = MetricsRegistry(thread_safe=thread_safe)
+        self.tracer: Optional[Tracer] = None
+
+    # ------------------------------------------------------------------
+    # Tracing lifecycle
+    # ------------------------------------------------------------------
+    def start_trace(self, *networks, max_events: int = 200_000) -> Tracer:
+        """Install (or reuse) the tracer and tap the given networks."""
+        if self.tracer is None:
+            self.tracer = Tracer(self.clock, max_events=max_events)
+        for network in networks:
+            self.tracer.attach(network)
+        return self.tracer
+
+    def stop_trace(self) -> Optional[Tracer]:
+        """Detach the tracer from every network; returns it (events kept)."""
+        tracer, self.tracer = self.tracer, None
+        if tracer is not None:
+            tracer.detach()
+        return tracer
+
+    # ------------------------------------------------------------------
+    # Collectors: one observe_* per instrumented component
+    # ------------------------------------------------------------------
+    def observe_kernel(self, sim) -> None:
+        """Kernel counters + (when enabled) the per-handler profile."""
+        reg = self.registry
+        key = id(sim)
+        reg.callback("sim_events_processed_total",
+                     lambda: [((), sim.events_processed)],
+                     help="Callbacks executed by the simulation run loop.",
+                     kind="counter", key=key)
+        reg.callback("sim_pending_timers",
+                     lambda: [((), sim.pending)],
+                     help="Live (non-cancelled) callbacks in the event heap.",
+                     key=key)
+        reg.callback("sim_virtual_time_seconds",
+                     lambda: [((), sim.now)],
+                     help="Current virtual clock value.", key=key)
+
+        def handler_calls():
+            return [((name,), rec[0])
+                    for name, rec in sim.handler_profile.items()]
+
+        def handler_seconds():
+            return [((name,), rec[1])
+                    for name, rec in sim.handler_profile.items()]
+
+        reg.callback("sim_handler_calls_total", handler_calls,
+                     help="Run-loop callback invocations by handler "
+                          "(requires sim.enable_profiling()).",
+                     labels=("handler",), kind="counter", key=key)
+        reg.callback("sim_handler_seconds_total", handler_seconds,
+                     help="Wall-clock perf_counter seconds spent in each "
+                          "handler (requires sim.enable_profiling()).",
+                     labels=("handler",), kind="counter", key=key)
+
+    def observe_network(self, network) -> None:
+        """Frame/byte/drop accounting, reading ``network.stats`` live."""
+        reg = self.registry
+        key = id(network)
+        stats = network.stats
+
+        def sent():
+            for name, node in stats.nodes.items():
+                yield (name, "unicast"), node.sent_unicast
+                yield (name, "multicast"), node.sent_multicast
+
+        def received():
+            for name, node in stats.nodes.items():
+                yield (name,), node.received
+
+        def nbytes():
+            for name, node in stats.nodes.items():
+                yield (name, "sent"), node.bytes_sent
+                yield (name, "received"), node.bytes_received
+
+        def drops():
+            for reason, count in stats.drops_by_reason.items():
+                yield (reason,), count
+
+        def by_kind():
+            for name, node in stats.nodes.items():
+                for kind, count in node.by_kind.items():
+                    yield (name, kind), count
+
+        reg.callback("net_frames_sent_total", sent,
+                     help="Frames originated, by node and cast mode.",
+                     labels=("node", "cast"), kind="counter", key=key)
+        reg.callback("net_frames_received_total", received,
+                     help="Frames delivered to each node.",
+                     labels=("node",), kind="counter", key=key)
+        reg.callback("net_bytes_total", nbytes,
+                     help="Bytes on the wire, by node and direction.",
+                     labels=("node", "direction"), kind="counter", key=key)
+        reg.callback("net_frames_dropped_total", drops,
+                     help="Frames that never arrived, by drop reason.",
+                     labels=("reason",), kind="counter", key=key)
+        reg.callback("net_frames_kind_total", by_kind,
+                     help="Frames originated, by node and protocol kind.",
+                     labels=("node", "kind"), kind="counter", key=key)
+        reg.callback("net_messages_total",
+                     lambda: [((), stats.total_messages)],
+                     help="Total frames originated on this network.",
+                     kind="counter", key=key)
+
+    def observe_lease_manager(self, manager, node: str) -> None:
+        """Grant/refusal/revocation accounting for one lease manager."""
+        reg = self.registry
+        key = id(manager)
+
+        def events():
+            yield (node, "grant"), manager.grants
+            yield (node, "refusal"), manager.refusals
+            yield (node, "requester_rejection"), manager.requester_rejections
+            yield (node, "expiration"), manager.expirations
+            yield (node, "revocation"), manager.revocations
+
+        reg.callback("lease_events_total", events,
+                     help="Lease lifecycle outcomes by node and event.",
+                     labels=("node", "event"), kind="counter", key=key)
+        reg.callback("lease_negotiations_total",
+                     lambda: [((node,), manager.negotiations)],
+                     help="Negotiation rounds started (granted or not).",
+                     labels=("node",), kind="counter", key=key)
+        reg.callback("lease_active",
+                     lambda: [((node,), manager.active_count)],
+                     help="Currently active leases.",
+                     labels=("node",), key=key)
+        reg.callback("lease_storage_used_bytes",
+                     lambda: [((node,), manager.storage_used)],
+                     help="Bytes committed against storage-bearing leases.",
+                     labels=("node",), key=key)
+
+    def observe_reliability(self, channel, node: str) -> None:
+        """Ack/retransmit/dedup accounting for one reliable channel."""
+        reg = self.registry
+        key = id(channel)
+
+        def events():
+            yield (node, "sent"), channel.sent
+            yield (node, "retransmit"), channel.retransmits
+            yield (node, "acked"), channel.acked
+            yield (node, "expired"), channel.expired
+            yield (node, "dedup_drop"), channel.duplicates_dropped
+            yield (node, "ack_sent"), channel.acks_sent
+
+        reg.callback("reliability_events_total", events,
+                     help="Reliable-sublayer events by node "
+                          "(retransmits, dedup hits, expiries...).",
+                     labels=("node", "event"), kind="counter", key=key)
+        reg.callback("reliability_pending",
+                     lambda: [((node,), channel.pending_count)],
+                     help="Reliable frames still awaiting acknowledgement.",
+                     labels=("node",), key=key)
+        reg.callback("reliability_epoch",
+                     lambda: [((node,), channel.epoch)],
+                     help="Current incarnation epoch (jumps on restart).",
+                     labels=("node",), key=key)
+        backoff = reg.histogram(
+            "reliability_backoff_delay_seconds",
+            help="Delay chosen before each (re)transmission attempt.",
+            labels=("node",))
+        channel.backoff_observer = backoff.labels(node=node).observe
+
+    def observe_server(self, server, node: str) -> None:
+        """Serving-side accounting for one query server."""
+        reg = self.registry
+        key = id(server)
+
+        def events():
+            yield (node, "served"), server.served
+            yield (node, "refused"), server.refused
+            yield (node, "offer_made"), server.offers_made
+            yield (node, "offer_won"), server.offers_won
+            yield (node, "offer_put_back"), server.offers_put_back
+            yield (node, "duplicate_query"), server.duplicate_queries
+
+        reg.callback("serving_events_total", events,
+                     help="Remote-query serving outcomes by node.",
+                     labels=("node", "event"), kind="counter", key=key)
+        reg.callback("serving_active",
+                     lambda: [((node,), server.active_servings)],
+                     help="Remote operations currently being worked on.",
+                     labels=("node",), key=key)
+
+    def observe_space(self, space, name: str) -> None:
+        """Residency + matching-cost accounting for one tuple space."""
+        reg = self.registry
+        key = id(space)
+        store = space.store
+
+        def events():
+            yield (name, "deposit"), space.deposits
+            yield (name, "consumed"), space.consumed
+            yield (name, "expired"), space.expirations
+
+        reg.callback("tuples_events_total", events,
+                     help="Deposits, consumptions, and expiries by space.",
+                     labels=("space", "event"), kind="counter", key=key)
+        reg.callback("tuples_resident",
+                     lambda: [((name,), store.visible_count)],
+                     help="Tuples currently visible to queries.",
+                     labels=("space",), key=key)
+        reg.callback("tuples_waiters",
+                     lambda: [((name,), space.waiter_count)],
+                     help="Registered, unsatisfied blocking waiters.",
+                     labels=("space",), key=key)
+        reg.callback("tuples_scans_total",
+                     lambda: [((name,), store.scans)],
+                     help="Match scans run against the store's indexes.",
+                     labels=("space",), kind="counter", key=key)
+        scan_hist = reg.histogram(
+            "tuples_match_scan_length",
+            help="Candidate entries examined per match scan.",
+            labels=("space",), buckets=DEFAULT_COUNT_BUCKETS)
+        store.scan_observer = scan_hist.labels(space=name).observe
+
+    def observe_instance(self, instance) -> None:
+        """Wire one Tiamat instance's components into the registry."""
+        node = instance.name
+        reg = self.registry
+        key = id(instance)
+
+        def ops():
+            yield (node, "started"), instance.ops_started
+            yield (node, "satisfied_local"), instance.ops_satisfied_local
+            yield (node, "satisfied_remote"), instance.ops_satisfied_remote
+            yield (node, "unsatisfied"), instance.ops_unsatisfied
+
+        reg.callback("core_ops_total", ops,
+                     help="Logical operations by origin node and outcome.",
+                     labels=("node", "state"), kind="counter", key=key)
+        self.observe_lease_manager(instance.leases, node)
+        self.observe_reliability(instance.reliability, node)
+        self.observe_server(instance.server, node)

@@ -20,18 +20,26 @@ import threading
 import time
 from typing import Optional
 
+from repro.obs import Observability
 from repro.runtime.space import ThreadSafeTupleSpace
 from repro.tuples.matching import matches
 from repro.tuples.model import Pattern, Tuple
 
 
 class ThreadedNodeRegistry:
-    """In-process 'network': node registry plus a visibility relation."""
+    """In-process 'network': node registry plus a visibility relation.
+
+    The registry also owns the runtime's :class:`~repro.obs.hub.Observability`
+    hub (``registry.obs``): a **thread-safe** metrics registry clocked by
+    wall time (``time.monotonic``), which every member node feeds its
+    operation counters, blocking-wait histogram, and space residency into.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._nodes: dict[str, "ThreadedTiamatNode"] = {}
         self._edges: set[frozenset] = set()
+        self.obs = Observability(clock=time.monotonic, thread_safe=True)
 
     def register(self, node: "ThreadedTiamatNode") -> None:
         """Attach a node (idempotent by name)."""
@@ -70,6 +78,31 @@ class ThreadedTiamatNode:
         self.name = name
         self.space = ThreadSafeTupleSpace(name)
         registry.register(self)
+        reg = registry.obs.registry
+        self._ops_metric = reg.counter(
+            "runtime_ops_total",
+            help="Logical operations by node, operation, and outcome.",
+            labels=("node", "op", "outcome"))
+        self._wait_hist = reg.histogram(
+            "runtime_blocking_wait_seconds",
+            help="Wall-clock wait of blocking rd/in operations.",
+            labels=("node",)).labels(node=name)
+        space = self.space
+
+        def space_events():
+            yield (name, "deposit"), space.deposits
+            yield (name, "consumed"), space.consumed
+
+        reg.callback("runtime_space_events_total", space_events,
+                     help="Deposits and consumptions per node's space.",
+                     labels=("node", "event"), kind="counter", key=id(self))
+        reg.callback("runtime_tuples_resident",
+                     lambda: [((name,), space.store.visible_count)],
+                     help="Live tuples resident in each node's space.",
+                     labels=("node",), key=id(self))
+
+    def _count(self, op: str, outcome: str) -> None:
+        self._ops_metric.labels(node=self.name, op=op, outcome=outcome).inc()
 
     # ------------------------------------------------------------------
     # The six operations
@@ -77,36 +110,45 @@ class ThreadedTiamatNode:
     def out(self, tup: Tuple, lease_duration: Optional[float] = None) -> None:
         """Deposit into the local space (default scope, section 2.2)."""
         self.space.out(tup, lease_duration)
+        self._count("out", "ok")
 
     def rdp(self, pattern: Pattern) -> Optional[Tuple]:
         """Non-blocking read over the current logical space."""
         local = self.space.rdp(pattern)
         if local is not None:
+            self._count("rdp", "hit")
             return local
         for peer in self.registry.visible_nodes(self.name):
             found = peer.space.rdp(pattern)
             if found is not None:
+                self._count("rdp", "hit")
                 return found
+        self._count("rdp", "miss")
         return None
 
     def inp(self, pattern: Pattern) -> Optional[Tuple]:
         """Non-blocking take over the current logical space."""
         local = self.space.inp(pattern)
         if local is not None:
+            self._count("inp", "hit")
             return local
         for peer in self.registry.visible_nodes(self.name):
             taken = peer.space.inp(pattern)
             if taken is not None:
+                self._count("inp", "hit")
                 return taken
+        self._count("inp", "miss")
         return None
 
     def rd(self, pattern: Pattern, timeout: float = 5.0) -> Optional[Tuple]:
         """Blocking read: polls the logical space until match or lease end."""
-        return self._blocking(pattern, remove=False, timeout=timeout)
+        return self._timed_blocking("rd", pattern, remove=False,
+                                    timeout=timeout)
 
     def in_(self, pattern: Pattern, timeout: float = 5.0) -> Optional[Tuple]:
         """Blocking take: polls the logical space until match or lease end."""
-        return self._blocking(pattern, remove=True, timeout=timeout)
+        return self._timed_blocking("in", pattern, remove=True,
+                                    timeout=timeout)
 
     def eval(self, fn, *args, lease_duration: Optional[float] = None) -> threading.Thread:
         """Active tuple: run ``fn(*args)`` on a thread, deposit its result."""
@@ -115,12 +157,21 @@ class ThreadedTiamatNode:
             if not isinstance(result, Tuple):
                 raise TypeError(f"eval returned {result!r}, not a Tuple")
             self.space.out(result, lease_duration)
+            self._count("eval", "ok")
 
         thread = threading.Thread(target=runner, daemon=True)
         thread.start()
         return thread
 
     # ------------------------------------------------------------------
+    def _timed_blocking(self, op: str, pattern: Pattern, remove: bool,
+                        timeout: float) -> Optional[Tuple]:
+        started = time.monotonic()
+        result = self._blocking(pattern, remove=remove, timeout=timeout)
+        self._wait_hist.observe(time.monotonic() - started)
+        self._count(op, "hit" if result is not None else "miss")
+        return result
+
     def _blocking(self, pattern: Pattern, remove: bool,
                   timeout: float) -> Optional[Tuple]:
         deadline = time.monotonic() + timeout

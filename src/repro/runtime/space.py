@@ -29,6 +29,15 @@ class ThreadSafeTupleSpace:
         self.deposits = 0
         self.consumed = 0
 
+    @property
+    def store(self) -> TupleStore:
+        """The underlying store (read-only access for telemetry).
+
+        Mutating it without holding the space's lock is not thread-safe;
+        observers must limit themselves to counter reads.
+        """
+        return self._store
+
     # ------------------------------------------------------------------
     def out(self, tup: Tuple, lease_duration: Optional[float] = None) -> None:
         """Deposit a tuple; wakes any blocked readers.

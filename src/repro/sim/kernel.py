@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import SimulationError, StopSimulation
@@ -80,6 +81,11 @@ class Simulator:
         self._rng_root = RngStream(seed)
         self._rng_children: dict[str, RngStream] = {}
         self.events_processed = 0
+        self._obs = None
+        self.profiling = False
+        #: handler label -> [calls, perf_counter seconds]; populated only
+        #: while :meth:`enable_profiling` is in effect.
+        self.handler_profile: dict[str, list] = {}
 
     # ------------------------------------------------------------------
     # Clock and randomness
@@ -101,6 +107,47 @@ class Simulator:
             stream = self._rng_root.child(name)
             self._rng_children[name] = stream
         return stream
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def obs(self):
+        """This simulation's telemetry hub (registry + opt-in tracer).
+
+        Built lazily on first access, clocked by virtual time.  Components
+        register their collect-time metric callbacks here; tracing starts
+        only when ``sim.obs.start_trace(network)`` is called, so untouched
+        simulations pay nothing.
+        """
+        if self._obs is None:
+            from repro.obs import Observability
+
+            self._obs = Observability(clock=lambda: self._now)
+            self._obs.observe_kernel(self)
+        return self._obs
+
+    def enable_profiling(self) -> None:
+        """Start timing every run-loop callback with ``perf_counter``.
+
+        Per-handler call counts and cumulative wall-clock seconds land in
+        :attr:`handler_profile` (and, through ``obs``, in the
+        ``sim_handler_*`` metric families).  Profiling measures wall time
+        only — virtual-time behaviour is unchanged.
+        """
+        self.profiling = True
+
+    def disable_profiling(self) -> None:
+        """Stop timing callbacks (accumulated profile is kept)."""
+        self.profiling = False
+
+    def _profile(self, callback: Callable[..., Any], elapsed: float) -> None:
+        label = getattr(callback, "__qualname__", None) or repr(callback)
+        record = self.handler_profile.get(label)
+        if record is None:
+            record = self.handler_profile[label] = [0, 0.0]
+        record[0] += 1
+        record[1] += elapsed
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -176,10 +223,21 @@ class Simulator:
                     raise SimulationError("event queue corrupted: time moved backwards")
                 self._now = timer.time
                 timer.fired = True
-                try:
-                    timer.callback(*timer.args)
-                except StopSimulation:
-                    break
+                if self.profiling:
+                    started = _time.perf_counter()
+                    try:
+                        timer.callback(*timer.args)
+                    except StopSimulation:
+                        self._profile(timer.callback,
+                                      _time.perf_counter() - started)
+                        break
+                    self._profile(timer.callback,
+                                  _time.perf_counter() - started)
+                else:
+                    try:
+                        timer.callback(*timer.args)
+                    except StopSimulation:
+                        break
                 processed += 1
                 self.events_processed += 1
         finally:

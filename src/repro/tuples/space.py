@@ -80,6 +80,7 @@ class LocalTupleSpace:
         self.deposits = 0
         self.expirations = 0
         self.consumed = 0
+        sim.obs.observe_space(self, name)
 
     # ------------------------------------------------------------------
     # Listeners

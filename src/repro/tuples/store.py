@@ -63,6 +63,12 @@ class TupleStore:
         self._by_arity: dict[int, dict[int, StoredEntry]] = {}
         # (arity, position, value-key) -> dict of entry_id -> StoredEntry
         self._by_actual: dict[tuple, dict[int, StoredEntry]] = {}
+        # statistics: how much work match scans do (index effectiveness)
+        self.scans = 0
+        self.entries_scanned = 0
+        #: Optional ``fn(candidates_examined)`` per scan (installed by
+        #: ``Observability.observe_space`` — feeds the scan-length histogram).
+        self.scan_observer = None
 
     # ------------------------------------------------------------------
     # Insertion / removal
@@ -146,7 +152,7 @@ class TupleStore:
         (uniformly from ``rng`` when given; otherwise the oldest), per the
         Linda specification of ``rdp``.
         """
-        found = [e for e in self.candidates(pattern) if matches(pattern, e.tuple)]
+        found = self._scan(pattern)
         if not found:
             return None
         if rng is not None and len(found) > 1:
@@ -155,8 +161,22 @@ class TupleStore:
 
     def find_all(self, pattern: Pattern) -> list[StoredEntry]:
         """All visible entries matching ``pattern`` (oldest first)."""
-        found = [e for e in self.candidates(pattern) if matches(pattern, e.tuple)]
+        found = self._scan(pattern)
         found.sort(key=lambda e: e.entry_id)
+        return found
+
+    def _scan(self, pattern: Pattern) -> list[StoredEntry]:
+        """Matching visible entries, with scan-cost accounting."""
+        examined = 0
+        found: list[StoredEntry] = []
+        for entry in self.candidates(pattern):
+            examined += 1
+            if matches(pattern, entry.tuple):
+                found.append(entry)
+        self.scans += 1
+        self.entries_scanned += examined
+        if self.scan_observer is not None:
+            self.scan_observer(examined)
         return found
 
     def get(self, entry_id: int) -> Optional[StoredEntry]:

@@ -9,6 +9,7 @@ from repro.core import (
     RtsMonitor,
     TiamatInstance,
 )
+from repro.core.monitoring import NeighborRecord
 from repro.errors import LeaseError
 from repro.leasing import LeaseTerms, OperationKind, SimpleLeaseRequester
 from repro.net import ChurnInjector, Network
@@ -73,6 +74,24 @@ def test_rts_monitor_ignores_unrelated_edges(sim):
     assert monitor.records == {}
 
 
+def test_neighbor_record_availability_zero_window():
+    """A zero (or negative) observation window yields 0.0, not a div error."""
+    record = NeighborRecord()
+    record.total_visible = 5.0
+    assert record.availability(now=10.0, window=0.0) == 0.0
+    assert record.availability(now=10.0, window=-1.0) == 0.0
+
+
+def test_rts_monitor_availability_at_start_instant(sim):
+    """availability_of at the exact start time (elapsed == 0) is safe."""
+    net = Network(sim)
+    net.visibility.add_node("me")
+    monitor = RtsMonitor(sim, net, "me")
+    net.visibility.set_visible("me", "peer")
+    # No time has elapsed since the monitor started observing.
+    assert monitor.availability_of("peer") == 0.0
+
+
 def test_rts_monitor_close_unsubscribes(sim):
     net = Network(sim)
     net.visibility.add_node("me")
@@ -96,6 +115,72 @@ def test_app_monitor_attach_records_ops(sim):
     assert monitor.success_rate(Pattern("x", int)) == 1.0
     assert monitor.success_rate(Pattern("y", int)) == 0.0
     assert 0.0 < monitor.success_rate() < 1.0
+
+
+def test_app_monitor_success_rate_no_data_vs_all_failed(sim):
+    """0.0 from *no data* and 0.0 from *all failures* are both reachable."""
+    monitor = AppMonitor(sim)
+    # No operations observed at all: no data.
+    assert monitor.success_rate() == 0.0
+    # An op that started but never finished is still "no data".
+    monitor.observe("rd", Pattern("pending"))
+    assert monitor.success_rate() == 0.0
+    # All finished ops failed: genuinely zero success.
+    failed = monitor.observe("inp", Pattern("gone"))
+    monitor.resolve(failed, False)
+    assert monitor.success_rate() == 0.0
+    assert monitor.success_rate(Pattern("gone")) == 0.0
+    # One success flips the aggregate away from zero.
+    won = monitor.observe("inp", Pattern("gone"))
+    monitor.resolve(won, True)
+    assert monitor.success_rate(Pattern("gone")) == 0.5
+
+
+def test_app_monitor_attach_is_idempotent(sim):
+    net, inst = build(sim, ["a"])
+    monitor = AppMonitor(sim)
+    monitor.attach(inst["a"])
+    wrapped = inst["a"]._start_op
+    monitor.attach(inst["a"])  # second attach must be a no-op
+    assert inst["a"]._start_op is wrapped
+    inst["a"].out(Tuple("x", 1))
+    run_op(sim, inst["a"].rdp(Pattern("x", int)), until=5.0)
+    # The op is recorded exactly once despite the double attach.
+    assert monitor.op_mix["rdp"] == 1
+
+
+def test_app_monitor_detach_restores_and_stops_recording(sim):
+    net, inst = build(sim, ["a"])
+    monitor = AppMonitor(sim)
+    monitor.attach(inst["a"])
+    inst["a"].out(Tuple("x", 1))
+    run_op(sim, inst["a"].rdp(Pattern("x", int)), until=5.0)
+    monitor.detach(inst["a"])
+    # The instance override is gone: back to the plain class method.
+    assert "_start_op" not in vars(inst["a"])
+    run_op(sim, inst["a"].rdp(Pattern("x", int)), until=10.0)
+    # History from before detach is retained; nothing new is recorded.
+    assert monitor.op_mix["rdp"] == 1
+    # Detaching twice (or an instance never attached) is a no-op.
+    monitor.detach(inst["a"])
+    assert "_start_op" not in vars(inst["a"])
+
+
+def test_app_monitor_stacked_monitors_detach_safely(sim):
+    """Detaching a monitor buried under another leaves the chain intact."""
+    net, inst = build(sim, ["a"])
+    inner = AppMonitor(sim)
+    outer = AppMonitor(sim)
+    inner.attach(inst["a"])
+    outer.attach(inst["a"])
+    # inner's wrapper is no longer the installed one, so detach must not
+    # clobber outer's hook.
+    top = inst["a"]._start_op
+    inner.detach(inst["a"])
+    assert inst["a"]._start_op is top
+    inst["a"].out(Tuple("x", 1))
+    run_op(sim, inst["a"].rdp(Pattern("x", int)), until=5.0)
+    assert outer.op_mix["rdp"] == 1
 
 
 def test_app_monitor_latency_and_hot_patterns(sim):
