@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Micro-ops perf baseline harness + CI regression gate.
+
+Runs the ``repro.bench.perf`` suite (codec ns/op, scan ns/op, frames/op
+and bytes/op on the T1 MRU workload) and either records the result as the
+committed baseline or checks a fresh run against it.
+
+Usage::
+
+    python benchmarks/perf_baseline.py                # measure + print
+    python benchmarks/perf_baseline.py --rebaseline   # rewrite BENCH_micro.json
+    python benchmarks/perf_baseline.py --check        # gate: exit 1 on >25% regression
+    python benchmarks/perf_baseline.py --check --inject-slowdown 2
+                                                      # prove the gate trips
+
+**Rebaseline policy** (the escape hatch): when a PR intentionally changes
+performance (new hardware assumptions, heavier correctness checks, a
+deliberate trade), run ``--rebaseline`` locally, commit the updated
+``BENCH_micro.json`` in the same PR, and say why in the PR description.
+The gate compares against the *committed* baseline, so the rebaseline and
+the change it excuses are reviewed together.  Never rebaseline to silence
+a regression you cannot explain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import perf  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_micro.json")
+
+
+def load_baseline(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def build_document(metrics: dict) -> dict:
+    return {
+        "schema": perf.SCHEMA_VERSION,
+        "generated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "units": {"*_ns": "median ns/op", "*_per_op": "per logical operation"},
+        "metrics": metrics,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default BENCH_micro.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 1 on regression")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="write the measured metrics as the new baseline")
+    parser.add_argument("--tolerance", type=float,
+                        default=perf.DEFAULT_TOLERANCE,
+                        help="relative regression tolerated (default 0.25)")
+    parser.add_argument("--inject-slowdown", type=int, default=1,
+                        metavar="N",
+                        help="run every timed operation N times per iteration "
+                             "(gate-verification only)")
+    args = parser.parse_args(argv)
+
+    if args.inject_slowdown != 1:
+        print(f"[perf] synthetic slowdown x{args.inject_slowdown} "
+              "(gate verification mode)")
+    metrics = perf.collect(slowdown=args.inject_slowdown)
+
+    baseline = None
+    if args.check or (os.path.exists(args.baseline) and not args.rebaseline):
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            baseline = None
+
+    print(perf.render_table(metrics, baseline))
+
+    if args.rebaseline:
+        doc = build_document(metrics)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n[perf] baseline written to {args.baseline}")
+        return 0
+
+    if args.check:
+        if baseline is None:
+            print(f"\n[perf] FAIL: no baseline at {args.baseline} "
+                  "(run --rebaseline and commit it)")
+            return 1
+        problems = perf.compare(baseline, metrics, tolerance=args.tolerance)
+        if problems:
+            print("\n[perf] FAIL: regression gate tripped:")
+            for line in problems:
+                print(f"  - {line}")
+            print("\nIf this change is intentional, rebaseline per the "
+                  "policy in this script's docstring.")
+            return 1
+        print(f"\n[perf] OK: all metrics within {args.tolerance:.0%} "
+              "of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,8 @@ regime laced with frame duplication and bounded reordering.
 
 from __future__ import annotations
 
+import os
+
 from repro.bench import Table
 from repro.core import TiamatConfig, TiamatInstance
 from repro.leasing import LeaseTerms, SimpleLeaseRequester
@@ -52,6 +54,13 @@ CONDITIONS = [
     ("iid 20%", 0.2),
     ("burst", "burst"),
 ]
+
+# The nightly chaos job raises the stakes: REPRO_CHAOS_LOSS=0.25 appends an
+# elevated-loss i.i.d. condition; the exactly-once assertion below covers
+# every condition, so the soak fails if the sublayer cracks under it.
+_chaos_loss = float(os.environ.get("REPRO_CHAOS_LOSS", "0") or 0.0)
+if _chaos_loss > 0.0:
+    CONDITIONS.append((f"iid {_chaos_loss:.0%} (chaos)", _chaos_loss))
 
 
 def _burst_plan() -> FaultPlan:

@@ -19,7 +19,6 @@ Paper shapes to match:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps import RequestResponseWorkload
 from repro.bench import SYSTEMS, Table, build_system

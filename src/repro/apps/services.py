@@ -25,7 +25,7 @@ Tuple vocabulary::
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.core.instance import TiamatInstance
 from repro.errors import LeaseError

@@ -1,0 +1,289 @@
+"""Micro-benchmark measurement + regression-gate logic (``repro.perf``).
+
+This module is the single source of truth for the repo's performance
+trajectory.  It measures three hot paths:
+
+* **codec** — encode+decode round-trip ns/op for the tag-first JSON codec
+  and the compact binary codec, over a representative tuple mix (nested
+  tuples, bytes fields, unicode strings, big ints);
+* **store scan** — ns per ``find`` against a populated store, both uncached
+  (cache cleared between calls) and cached (repeat query, unchanged store);
+* **wire** — frames/op and bytes/op for the T1 MRU probe workload (the
+  paper's §3.1.3 cached-visibility scenario) under the *baseline* wire
+  configuration (JSON, one frame per send, dedicated acks) and the *fast*
+  configuration (binary codec + frame batching + piggybacked acks).
+
+Every metric is **lower-is-better**.  ``collect()`` returns a flat
+``{metric: value}`` dict; ``benchmarks/perf_baseline.py`` serialises it to
+``BENCH_micro.json`` and the CI perf gate compares a fresh run against the
+committed baseline with :func:`compare` (fail on >25% median regression).
+
+Timing metrics are medians of several repeats of a calibrated inner loop,
+which makes them stable enough for a 25% gate on shared CI runners; the
+wire metrics come from a seeded discrete-event simulation and are exactly
+reproducible.
+
+The ``slowdown`` knob exists for one purpose: proving the gate trips.  It
+multiplies the work inside every timed loop (running the operation N times
+per iteration), producing an honest N× measurement without touching the
+production code paths.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, Optional
+
+SCHEMA_VERSION = 1
+
+#: Relative regression tolerated by the gate before failing (25%).
+DEFAULT_TOLERANCE = 0.25
+
+
+# ----------------------------------------------------------------------
+# Timing core
+# ----------------------------------------------------------------------
+def bench_ns(fn: Callable[[], object], *, repeats: int = 5,
+             min_time_s: float = 0.05, slowdown: int = 1) -> float:
+    """Median ns per call of ``fn`` over ``repeats`` calibrated runs.
+
+    The inner-loop count is auto-calibrated so each run lasts at least
+    ``min_time_s`` — long enough to drown out timer resolution and
+    scheduler noise.  ``slowdown`` runs ``fn`` that many times per counted
+    iteration (see module docstring).
+    """
+    # Calibrate: grow the loop until one run is long enough to time.
+    number = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_time_s or number >= 1_000_000:
+            break
+        number = max(number * 2, int(number * min_time_s / max(elapsed, 1e-9)))
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(number):
+            for _ in range(slowdown):
+                fn()
+        elapsed = time.perf_counter() - start
+        samples.append(elapsed / number * 1e9)
+    return statistics.median(samples)
+
+
+# ----------------------------------------------------------------------
+# Workload fixtures
+# ----------------------------------------------------------------------
+def sample_tuples():
+    """A representative tuple mix for codec benchmarks."""
+    from repro.tuples.model import Tuple
+
+    return [
+        Tuple("request", 42, "http://example.org/index.html"),
+        Tuple("result", 42, True, 3.14159, "body " * 8),
+        Tuple("nested", Tuple("inner", 1, 2.0), Tuple("deep", Tuple("x", 1))),
+        Tuple("blob", b"\x00\x01\x02" * 20, 2 ** 48, -17),
+        Tuple("unicode", "héllo wörld ✓", 0, False),
+    ]
+
+
+def measure_codec(slowdown: int = 1) -> dict:
+    """Encode+decode round-trip ns/op for both wire codecs.
+
+    Both sides measure the full structure→wire-bytes→structure path: the
+    JSON codec's tag lists still have to pass through ``json.dumps`` /
+    ``json.loads`` to become bytes on a real wire (that is exactly what
+    the network's byte accounting prices), while the binary codec's output
+    already *is* the wire format.
+    """
+    import json as _json
+
+    from repro.tuples.serialization import (
+        decode_tuple,
+        decode_tuple_binary,
+        encode_tuple,
+        encode_tuple_binary,
+    )
+
+    tuples = sample_tuples()
+
+    def json_roundtrip():
+        for tup in tuples:
+            wire = _json.dumps(encode_tuple(tup), separators=(",", ":"))
+            decode_tuple(_json.loads(wire))
+
+    def binary_roundtrip():
+        for tup in tuples:
+            decode_tuple_binary(encode_tuple_binary(tup))
+
+    n = len(tuples)
+    return {
+        "codec_json_roundtrip_ns": bench_ns(json_roundtrip, slowdown=slowdown) / n,
+        "codec_binary_roundtrip_ns": bench_ns(binary_roundtrip, slowdown=slowdown) / n,
+    }
+
+
+def measure_scan(slowdown: int = 1, population: int = 2000) -> dict:
+    """Store scan ns/op, uncached (cache cleared per call) and cached."""
+    from repro.tuples.model import Pattern, Tuple
+    from repro.tuples.store import TupleStore
+
+    store = TupleStore()
+    for i in range(population):
+        store.add(Tuple("job" if i % 10 else "rare", i, float(i)))
+    pattern = Pattern("rare", int, float)
+
+    def uncached():
+        store._scan_cache.clear()
+        store.find(pattern)
+
+    def cached():
+        store.find(pattern)
+
+    store.find(pattern)  # warm the cache for the cached loop
+    return {
+        "scan_uncached_ns": bench_ns(uncached, slowdown=slowdown),
+        "scan_cached_ns": bench_ns(cached, slowdown=slowdown),
+    }
+
+
+def run_mru_workload(fast: bool, seed: int = 4, n_peers: int = 8,
+                     n_ops: int = 40) -> dict:
+    """The T1 MRU probe workload; returns frames/op and bytes/op.
+
+    The origin repeatedly ``in``s a tuple that a consistently visible
+    holder keeps replenishing — the paper's §3.1.3 cached-visibility-list
+    scenario, made destructive so the claim-resolution frames travel the
+    reliable sublayer (where ack piggybacking earns its keep).
+
+    ``fast=False`` is the baseline wire configuration (JSON codec, one
+    frame per send, dedicated acks); ``fast=True`` enables the binary
+    codec, frame batching, and piggybacked acks.  Both runs use the same
+    seed; the simulation is deterministic.
+    """
+    from repro.core.config import TiamatConfig
+    from repro.core.instance import TiamatInstance
+    from repro.leasing import LeaseTerms, SimpleLeaseRequester
+    from repro.net.network import Network
+    from repro.sim.kernel import Simulator
+    from repro.tuples.model import Pattern, Tuple
+
+    sim = Simulator(seed=seed)
+    net = Network(sim, codec="binary" if fast else "json", batching=fast)
+    config = TiamatConfig(comms_strategy="mru", ack_piggyback=fast,
+                          wire_codec="binary" if fast else "json")
+    names = ["origin", "holder"] + [f"peer{i}" for i in range(n_peers)]
+    instances = {n: TiamatInstance(sim, net, n, config=config) for n in names}
+    net.visibility.connect_clique(names)
+
+    holder_terms = SimpleLeaseRequester(LeaseTerms(duration=100_000.0))
+    instances["holder"].out(Tuple("wanted", 0), requester=holder_terms)
+
+    satisfied = 0
+    frames_before = net.stats.total_messages
+    bytes_before = net.stats.total_bytes
+
+    def driver():
+        nonlocal satisfied
+        for i in range(n_ops):
+            op = instances["origin"].in_(
+                Pattern("wanted", int),
+                requester=SimpleLeaseRequester(
+                    LeaseTerms(duration=5.0, max_remotes=n_peers + 2)))
+            result = yield op.event
+            if result is not None:
+                satisfied += 1
+            instances["holder"].out(Tuple("wanted", i + 1),
+                                    requester=holder_terms)
+            yield sim.timeout(1.0)
+
+    sim.spawn(driver())
+    sim.run(until=10_000.0)
+
+    return {
+        "frames_per_op": (net.stats.total_messages - frames_before) / n_ops,
+        "bytes_per_op": (net.stats.total_bytes - bytes_before) / n_ops,
+        "satisfied": satisfied,
+    }
+
+
+def measure_wire() -> dict:
+    """Baseline vs fast wire configuration on the T1 MRU workload."""
+    base = run_mru_workload(fast=False)
+    fast = run_mru_workload(fast=True)
+    if base["satisfied"] != fast["satisfied"]:  # pragma: no cover - invariant
+        raise RuntimeError(
+            "fast wire path changed operation outcomes: "
+            f"{base['satisfied']} vs {fast['satisfied']} satisfied")
+    return {
+        "mru_frames_per_op_baseline": base["frames_per_op"],
+        "mru_frames_per_op_fast": fast["frames_per_op"],
+        "mru_bytes_per_op_baseline": base["bytes_per_op"],
+        "mru_bytes_per_op_fast": fast["bytes_per_op"],
+    }
+
+
+def collect(slowdown: int = 1) -> dict:
+    """All metrics as one flat lower-is-better dict."""
+    metrics: dict = {}
+    metrics.update(measure_codec(slowdown=slowdown))
+    metrics.update(measure_scan(slowdown=slowdown))
+    metrics.update(measure_wire())
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Gate logic
+# ----------------------------------------------------------------------
+def compare(baseline: dict, current: dict,
+            tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Regression report: one line per metric over tolerance; empty = pass.
+
+    Metrics present in only one of the two dicts are reported too — a
+    silently vanished metric is how a gate rots.
+    """
+    problems = []
+    base_metrics = baseline.get("metrics", baseline)
+    cur_metrics = current.get("metrics", current)
+    for name in sorted(base_metrics):
+        if name not in cur_metrics:
+            problems.append(f"metric {name!r} missing from current run")
+            continue
+        old, new = base_metrics[name], cur_metrics[name]
+        if old <= 0:
+            continue  # degenerate baseline; nothing meaningful to gate
+        ratio = new / old
+        if ratio > 1.0 + tolerance:
+            problems.append(
+                f"{name}: {new:.4g} vs baseline {old:.4g} "
+                f"({(ratio - 1.0) * 100:+.1f}%, tolerance {tolerance:.0%})")
+    for name in sorted(cur_metrics):
+        if name not in base_metrics:
+            problems.append(
+                f"new metric {name!r} not in baseline (rebaseline to adopt)")
+    return problems
+
+
+def render_table(metrics: dict, baseline: Optional[dict] = None) -> str:
+    """Fixed-width report of the metric dict (optionally vs a baseline)."""
+    from repro.bench.reporting import Table
+
+    headers = ["metric", "value"]
+    if baseline is not None:
+        headers += ["baseline", "delta"]
+    table = Table("micro-ops perf baseline", headers,
+                  caption="all metrics lower-is-better")
+    base_metrics = (baseline or {}).get("metrics", baseline or {})
+    for name in sorted(metrics):
+        row = [name, metrics[name]]
+        if baseline is not None:
+            old = base_metrics.get(name)
+            if old:
+                row += [old, f"{(metrics[name] / old - 1.0) * 100:+.1f}%"]
+            else:
+                row += ["-", "-"]
+        table.add_row(*row)
+    return table.render()

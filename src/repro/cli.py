@@ -166,6 +166,26 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Run the micro-ops perf suite and print the metric table.
+
+    The regression gate itself lives in ``benchmarks/perf_baseline.py``
+    (which CI runs with ``--check``); this subcommand is the quick local
+    view of the same metrics.
+    """
+    from repro.bench import perf
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            print(f"(no baseline at {args.baseline})")
+    print(perf.render_table(perf.collect(), baseline))
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Scripted fault scenario: chaos vs the reliability sublayer."""
     sim = Simulator(seed=args.seed)
@@ -268,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--items", type=int, default=6,
                        help="destructive in ops to run (default 6)")
 
+    perf = sub.add_parser(
+        "perf", help="micro-ops hot-path metrics (codec, scan cache, wire)")
+    perf.add_argument("--baseline", default="BENCH_micro.json",
+                      help="baseline JSON to diff against "
+                           "(default BENCH_micro.json)")
+
     stats = sub.add_parser(
         "stats", help="run the standard workload and dump the metrics registry")
     stats.add_argument("--nodes", type=int, default=8)
@@ -286,6 +312,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "chaos": cmd_chaos,
     "stats": cmd_stats,
+    "perf": cmd_perf,
 }
 
 

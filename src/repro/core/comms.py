@@ -21,7 +21,6 @@ discovery multicast for every operation).
 from __future__ import annotations
 
 import itertools
-from typing import Optional
 
 from repro.net.network import NetworkInterface
 from repro.core import protocol

@@ -81,6 +81,20 @@ class TiamatConfig:
     dedup_window:
         How many recently-seen sequence numbers the receive-side dedup
         window keeps per (peer, epoch).
+    ack_piggyback:
+        Whether reliable-delivery acknowledgements ride outgoing data
+        frames (``"racks"`` payload key) instead of each costing a
+        dedicated ``REL_ACK`` frame.  Queued acks that find no data frame
+        to ride within the current simulation tick are flushed as one
+        consolidated ``REL_ACK``.  Off (the default) reproduces the
+        original one-ack-frame-per-reliable-frame behaviour bit for bit.
+    wire_codec:
+        Which wire codec prices (and conceptually carries) frames sent by
+        this instance's network: ``"json"`` (tag-first JSON, the default)
+        or ``"binary"`` (compact length-prefixed binary).  Consumed by
+        harnesses that build the :class:`~repro.net.network.Network`;
+        kept here so experiment configs can ablate the codec alongside
+        protocol behaviour.
     """
 
     propagate_mode: str = "start"
@@ -98,6 +112,8 @@ class TiamatConfig:
     retry_max_interval: float = 1.0
     retry_jitter: float = 0.3
     dedup_window: int = 256
+    ack_piggyback: bool = False
+    wire_codec: str = "json"
 
     def __post_init__(self) -> None:
         if self.propagate_mode not in ("start", "continuous"):
@@ -108,6 +124,8 @@ class TiamatConfig:
             raise ValueError("retry_initial must be > 0 and retry_backoff >= 1")
         if self.dedup_window < 1:
             raise ValueError("dedup_window must be >= 1")
+        if self.wire_codec not in ("json", "binary"):
+            raise ValueError(f"bad wire_codec {self.wire_codec!r}")
 
     def default_terms(self, kind: OperationKind) -> LeaseTerms:
         """The default lease request for an operation kind."""

@@ -15,7 +15,7 @@ of that tuple; it is accepted by the ``*_at`` operation variants on
 from __future__ import annotations
 
 from repro.errors import TupleError
-from repro.tuples import ANY, Formal, Pattern, Tuple
+from repro.tuples import Formal, Pattern, Tuple
 
 #: First field of every space-info tuple.
 SPACE_INFO_TAG = "__space_info__"

@@ -65,6 +65,17 @@ class TiamatInstance:
         self.network = network
         self.name = name
         self.config = config if config is not None else TiamatConfig()
+        # The wire codec is a property of the *network* (every attached node
+        # must speak it); an instance explicitly configured for a different
+        # codec is a deployment error, caught here rather than as garbled
+        # frames later.  The default ("json") accepts any network codec for
+        # backward compatibility.
+        if (self.config.wire_codec != "json"
+                and self.config.wire_codec != network.codec.name):
+            raise ValueError(
+                f"config.wire_codec={self.config.wire_codec!r} but the "
+                f"network encodes with {network.codec.name!r}; construct "
+                f"the Network with codec={self.config.wire_codec!r}")
         self.leases = LeaseManager(sim, policy=policy,
                                    storage_capacity=storage_capacity,
                                    thread_capacity=thread_capacity)
@@ -322,9 +333,21 @@ class TiamatInstance:
     # Internals: network plumbing
     # ==================================================================
     def send(self, peer: str, payload: dict) -> bool:
-        """Unicast a protocol frame; False if the peer was not visible."""
+        """Unicast a protocol frame; False if the peer was not visible.
+
+        With ``config.ack_piggyback`` on, any reliability acks queued for
+        ``peer`` are drained onto this frame as a ``"racks"`` list (the
+        payload is copied, never mutated — retransmission state must keep
+        its original payload).  Dedicated ``REL_ACK`` frames never take
+        riders; they *are* the fallback flush.
+        """
         if self._detached:
             return False  # a crashed/shut-down instance sends nothing
+        if (self.config.ack_piggyback
+                and payload.get("kind") != protocol.REL_ACK):
+            racks = self.reliability.take_piggyback(peer)
+            if racks is not None:
+                payload = {**payload, "racks": racks}
         return self.iface.unicast(peer, payload)
 
     def send_reliable(self, peer: str, payload: dict,
@@ -347,6 +370,10 @@ class TiamatInstance:
         if kind == protocol.REL_ACK:
             self.reliability.on_ack(src, payload)
             return
+        if "racks" in payload:
+            # Piggybacked acks ride data frames; process them before the
+            # frame itself (even a duplicate frame carries valid acks).
+            self.reliability.on_piggyback(src, payload["racks"])
         if ("rseq" in payload and self.config.reliability_enabled
                 and not self.reliability.on_receive(src, payload)):
             return  # duplicate of an already-dispatched reliable frame

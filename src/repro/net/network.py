@@ -15,6 +15,20 @@ an elaborate radio model:
   behaviour of real radios at these timescales.  Frames addressed to a node
   that is *down* at delivery time are dropped.
 
+Two hot-path options keep heavy workloads cheap (both off by default so
+seeded experiments are unperturbed unless requested):
+
+* ``codec`` selects the wire encoding that prices every frame —
+  ``"json"`` (the default) or the compact ``"binary"`` codec
+  (:mod:`repro.tuples.serialization`);
+* ``batching`` coalesces every unicast frame queued to the same
+  destination within one simulation tick into a single **batch envelope**
+  (one latency/loss/fault decision, one stats entry), unpacked at delivery
+  in queue order so per-destination FIFO ordering — and, with the codec
+  fixed, operation outcomes — are preserved (see
+  ``tests/test_perf_paths.py``).  Frame listeners observe the *logical*
+  frames on both ends, so tracing stays causally exact.
+
 Richer failure modes — burst loss, duplication, reordering, corruption,
 one-way links — are layered on via :meth:`Network.use_faults` and a
 :class:`~repro.net.faults.FaultPlan`; the base network stays the simple
@@ -29,10 +43,10 @@ Handlers attached via :meth:`Network.attach` are invoked with the delivered
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.errors import UnknownNodeError
-from repro.net.message import Message
+from repro.net.message import BATCH, Message
 from repro.net.stats import (
     DROP_CORRUPT,
     DROP_INVISIBLE,
@@ -42,6 +56,7 @@ from repro.net.stats import (
 )
 from repro.net.visibility import VisibilityGraph
 from repro.sim.kernel import Simulator
+from repro.tuples.serialization import WireCodec, get_codec
 
 Handler = Callable[[Message], None]
 LatencyModel = Callable[[str, str, int], float]
@@ -101,16 +116,25 @@ class Network:
 
     def __init__(self, sim: Simulator, visibility: Optional[VisibilityGraph] = None,
                  loss_rate: float = 0.0,
-                 latency_factory: Optional[Callable[["Network"], LatencyModel]] = None) -> None:
+                 latency_factory: Optional[Callable[["Network"], LatencyModel]] = None,
+                 codec: Union[str, WireCodec, None] = None,
+                 batching: bool = False) -> None:
         self.sim = sim
         self.visibility = visibility if visibility is not None else VisibilityGraph()
         self.loss_rate = loss_rate
+        self.codec: WireCodec = get_codec(codec)
+        self.batching = batching
         self.stats = NetworkStats()
         self.faults = None  # Optional[FaultPlan]
         self._handlers: dict[str, Handler] = {}
         self._loss_rng = sim.rng("net/loss")
         self._drop_listeners: list[DropListener] = []
         self._frame_listeners: list[FrameListener] = []
+        # (src, dst) -> logical frames queued this tick, awaiting a flush
+        self._batch_queues: dict[tuple, list[Message]] = {}
+        # batching statistics (physical envelopes vs logical frames coalesced)
+        self.batch_envelopes = 0
+        self.batched_frames = 0
         factory = latency_factory if latency_factory is not None else default_latency()
         self._latency: LatencyModel = factory(self)
         sim.obs.observe_network(self)
@@ -155,6 +179,9 @@ class Network:
         The listener is invoked as ``listener(phase, message)`` with phase
         ``"send"`` (one call per in-flight copy, i.e. per destination for
         multicasts) and ``"deliver"`` (the frame reached its handler).
+        On a batching network, listeners see the *logical* frames — one
+        ``send`` per queued frame, one ``deliver`` per unpacked sub-frame —
+        never the envelope, so causal tracing is unaffected by coalescing.
         Drops are reported through :meth:`on_drop`.  With no listeners the
         notification is a single falsy check — observationally free.
         """
@@ -167,6 +194,20 @@ class Network:
 
     def _drop(self, message: Message, reason: str) -> None:
         self.stats.record_drop(message.src, reason=reason)
+        if not self._drop_listeners:
+            return
+        frames = message.payload.get("frames") if message.is_batch else None
+        if frames:
+            # Report the logical frames the envelope carried, not the
+            # envelope itself: tracers reason about per-operation frames.
+            for payload in frames:
+                sub = Message.sub_frame(message, payload)
+                for listener in list(self._drop_listeners):
+                    listener(sub, reason)
+            return
+        # Plain frame — or a batch envelope damaged beyond recognition
+        # (corruption garbles the payload, so the logical frames are
+        # unrecoverable): report the physical frame once.
         for listener in list(self._drop_listeners):
             listener(message, reason)
 
@@ -176,10 +217,12 @@ class Network:
     def unicast(self, src: str, dst: str, payload: dict) -> bool:
         """Deliver ``payload`` from src to dst if visible; True if dispatched."""
         self._require(src)
-        message = Message(src, dst, payload, self.sim.now)
+        message = Message(src, dst, payload, self.sim.now, codec=self.codec)
         if not self.visibility.visible(src, dst):
             self._drop(message, DROP_INVISIBLE)
             return False
+        if self.batching:
+            return self._enqueue(message)
         self.stats.record_send(src, message.size, multicast=False, kind=message.kind)
         self._dispatch(message)
         return True  # dispatched (even if lost in flight)
@@ -188,7 +231,7 @@ class Network:
         """Deliver a copy of ``payload`` to each visible neighbour of src."""
         self._require(src)
         neighbors = self.visibility.neighbors(src)
-        probe = Message(src, None, payload, self.sim.now)
+        probe = Message(src, None, payload, self.sim.now, codec=self.codec)
         self.stats.record_send(src, probe.size, multicast=True, kind=probe.kind)
         dispatched = 0
         for dst in neighbors:
@@ -198,11 +241,57 @@ class Network:
         return dispatched
 
     # ------------------------------------------------------------------
+    # Frame batching
+    # ------------------------------------------------------------------
+    def _enqueue(self, message: Message) -> bool:
+        """Queue a unicast frame for this tick's flush to its destination."""
+        key = (message.src, message.dst)
+        queue = self._batch_queues.get(key)
+        if queue is None:
+            queue = self._batch_queues[key] = []
+            # End-of-tick flush: same virtual time, after every handler
+            # that is already scheduled for this instant has run, so all
+            # same-tick frames to this destination coalesce.
+            self.sim.schedule(0.0, self._flush_batch, key)
+        queue.append(message)
+        if self._frame_listeners:
+            self._notify_frame("send", message)
+        return True
+
+    def _flush_batch(self, key: tuple) -> None:
+        queue = self._batch_queues.pop(key, None)
+        if not queue:
+            return
+        src, dst = key
+        if src not in self._handlers:
+            # The sender detached (crash/shutdown) with frames still in its
+            # TX queue; they die with it.
+            for message in queue:
+                self._drop(message, DROP_NODE_DOWN)
+            return
+        if len(queue) == 1:
+            message = queue[0]
+        else:
+            message = Message(src, dst,
+                              {"kind": BATCH,
+                               "frames": [m.payload for m in queue]},
+                              self.sim.now, codec=self.codec)
+            self.batch_envelopes += 1
+            self.batched_frames += len(queue)
+        self.stats.record_send(src, message.size, multicast=False,
+                               kind=message.kind)
+        self._dispatch(message, notify=False)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _dispatch(self, message: Message) -> bool:
-        """Run loss + fault decisions for one frame; True if any copy flies."""
-        if self._frame_listeners:
+    def _dispatch(self, message: Message, notify: bool = True) -> bool:
+        """Run loss + fault decisions for one frame; True if any copy flies.
+
+        ``notify`` is False for frames whose ``send`` notification already
+        happened at enqueue time (the batching path).
+        """
+        if notify and self._frame_listeners:
             self._notify_frame("send", message)
         if self._lost():
             self._drop(message, DROP_LOSS)
@@ -233,11 +322,22 @@ class Network:
         if handler is None or not self.visibility.is_up(message.dst):
             self._drop(message, DROP_NODE_DOWN)
             return
-        if self.faults is not None and not message.verify():
+        if ((self.faults is not None or message.is_batch)
+                and not message.verify()):
             # The receiver's frame checksum rejects damaged payloads.
+            # Batch envelopes are always checked — a damaged envelope must
+            # drop every logical frame it carried, never half-deliver.
             self._drop(message, DROP_CORRUPT)
             return
         self.stats.record_receive(message.dst, message.size)
+        if message.is_batch:
+            # Unpack in queue order: per-destination FIFO is preserved.
+            for payload in message.payload.get("frames", ()):
+                sub = Message.sub_frame(message, payload)
+                if self._frame_listeners:
+                    self._notify_frame("deliver", sub)
+                handler(sub)
+            return
         if self._frame_listeners:
             self._notify_frame("deliver", message)
         handler(message)

@@ -146,6 +146,16 @@ class Observability:
                      help="Total frames originated on this network.",
                      kind="counter", key=key)
 
+        def batching():
+            yield ("envelopes",), network.batch_envelopes
+            yield ("frames",), network.batched_frames
+
+        reg.callback("net_batch_total", batching,
+                     help="Frame batching: physical envelopes sent and "
+                          "logical frames coalesced into them (zero "
+                          "unless the network batches).",
+                     labels=("unit",), kind="counter", key=key)
+
     def observe_lease_manager(self, manager, node: str) -> None:
         """Grant/refusal/revocation accounting for one lease manager."""
         reg = self.registry
@@ -186,6 +196,7 @@ class Observability:
             yield (node, "expired"), channel.expired
             yield (node, "dedup_drop"), channel.duplicates_dropped
             yield (node, "ack_sent"), channel.acks_sent
+            yield (node, "ack_piggybacked"), channel.acks_piggybacked
 
         reg.callback("reliability_events_total", events,
                      help="Reliable-sublayer events by node "
@@ -252,6 +263,16 @@ class Observability:
                      lambda: [((name,), store.scans)],
                      help="Match scans run against the store's indexes.",
                      labels=("space",), kind="counter", key=key)
+
+        def cache_events():
+            yield (name, "hit"), store.scan_cache_hits
+            yield (name, "miss"), store.scan_cache_misses
+
+        reg.callback("tuples_scan_cache_total", cache_events,
+                     help="Scan-cache hits and misses by space (a hit "
+                          "serves a memoized match list, examining 0 "
+                          "candidate entries).",
+                     labels=("space", "result"), kind="counter", key=key)
         scan_hist = reg.histogram(
             "tuples_match_scan_length",
             help="Candidate entries examined per match scan.",

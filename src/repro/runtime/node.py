@@ -22,7 +22,6 @@ from typing import Optional
 
 from repro.obs import Observability
 from repro.runtime.space import ThreadSafeTupleSpace
-from repro.tuples.matching import matches
 from repro.tuples.model import Pattern, Tuple
 
 

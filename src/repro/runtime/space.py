@@ -116,7 +116,8 @@ class ThreadSafeTupleSpace:
     def _find_live(self, pattern: Pattern):
         """A live (unexpired) matching entry; reaps expired ones it meets."""
         now = time.monotonic()
-        for entry in list(self._store.candidates(pattern)):
+        # snapshot=True: this loop removes expired entries mid-iteration.
+        for entry in self._store.candidates(pattern, snapshot=True):
             expires_at = entry.meta.get("expires_at")
             if expires_at is not None and now >= expires_at:
                 self._store.remove(entry.entry_id)

@@ -14,7 +14,7 @@ behaviour under a fixed seed.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim.events import Event

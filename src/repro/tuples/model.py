@@ -14,7 +14,7 @@ matching decidable across heterogeneous devices.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Union
+from typing import Any, Iterable, Optional, Union
 
 from repro.errors import MalformedPatternError, MalformedTupleError
 
@@ -31,7 +31,7 @@ def _validate_field(value: Any) -> FieldValue:
         return value
     raise MalformedTupleError(
         f"field {value!r} has unsupported type {type(value).__name__}; "
-        f"allowed: bool, int, float, str, bytes, Tuple"
+        "allowed: bool, int, float, str, bytes, Tuple"
     )
 
 
@@ -58,6 +58,21 @@ class Tuple:
     def of(cls, fields: Iterable[FieldValue]) -> "Tuple":
         """Build a tuple from an iterable of field values."""
         return cls(*fields)
+
+    @classmethod
+    def _from_trusted(cls, fields: "tuple") -> "Tuple":
+        """Construct without per-field validation.
+
+        Internal fast path for decoders that *prove* field validity by
+        construction (the binary wire decoder admits only field-value tags
+        inside a tuple), so re-validating every field would only re-spend
+        the time the compact codec exists to save.  ``fields`` must be a
+        non-empty plain tuple of valid field values.
+        """
+        self = object.__new__(cls)
+        self._fields = fields
+        self._hash = None
+        return self
 
     @property
     def fields(self) -> tuple:

@@ -16,7 +16,6 @@ out-of-simulator use.
 from __future__ import annotations
 
 import json
-from typing import Optional
 
 from repro.errors import SerializationError
 from repro.tuples.serialization import decode_tuple, encode_tuple

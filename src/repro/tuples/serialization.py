@@ -1,24 +1,44 @@
-"""Wire codec for tuples and patterns.
+"""Wire codecs for tuples, patterns, and whole frame payloads.
 
 Tiamat instances exchange tuples and antituples over the (simulated)
-network; this module defines a compact, JSON-representable encoding for
-both, plus :func:`encoded_size`, which the network layer uses for byte
-accounting and the lease manager uses for storage accounting.
+network; this module defines the encodings plus :func:`encoded_size`,
+which the network layer uses for byte accounting and the lease manager
+uses for storage accounting.
 
-Encoding scheme (tag-first lists, so nested tuples are unambiguous)::
+Two codecs are provided, selected by name (``get_codec``):
 
-    field:   ["b", true] | ["i", 5] | ["f", 2.5] | ["s", "x"]
-             | ["y", "<base64>"] | ["t", [field, ...]]
-    tuple:   ["t", [field, ...]]
-    spec:    ["A", field] | ["F", "int"] | ["*"] | ["R", lo, hi]
-    pattern: ["p", [spec, ...]]
+``json`` (the original, and the default)
+    A tag-first, JSON-representable encoding — human-readable and
+    loosely-coupled, at the price of base64 for bytes fields and JSON
+    framing overhead on every frame::
+
+        field:   ["b", true] | ["i", 5] | ["f", 2.5] | ["s", "x"]
+                 | ["y", "<base64>"] | ["t", [field, ...]]
+        tuple:   ["t", [field, ...]]
+        spec:    ["A", field] | ["F", "int"] | ["*"] | ["R", lo, hi]
+        pattern: ["p", [spec, ...]]
+
+``binary``
+    A compact length-prefixed binary encoding (one tag byte per value,
+    LEB128 varints for lengths and integers, raw UTF-8/byte runs, IEEE-754
+    doubles).  It covers the full payload model — tuples, patterns, and the
+    JSON-shaped frame dicts the protocols exchange — and round-trips
+    bit-identically with the JSON codec over every value in the tuple
+    model (property-tested in ``tests/test_codec_cross.py``).  See
+    ``docs/PROTOCOL.md`` §6 for the byte-level layout.
+
+Both codecs expose the same trio used by the stack: ``encode_tuple`` /
+``decode_tuple`` (and pattern equivalents) plus :meth:`WireCodec.encoded_size`
+so byte accounting is always consistent with the wire representation the
+network was configured with.
 """
 
 from __future__ import annotations
 
 import base64
 import json
-from typing import Any
+import struct
+from typing import Any, Union
 
 from repro.errors import SerializationError
 from repro.tuples.model import ANY, Actual, Field, Formal, Pattern, Range, Tuple
@@ -144,14 +164,469 @@ def decode_pattern(data: Any) -> Pattern:
 
 
 def encoded_size(value: Any) -> int:
-    """Wire size in bytes of a tuple, pattern, or already-encoded payload."""
-    if isinstance(value, Tuple):
-        payload = encode_tuple(value)
+    """Wire size in bytes of a tuple, pattern, or already-encoded payload.
+
+    This is the *JSON* codec's accounting (the historical default); the
+    network layer asks its configured :class:`WireCodec` instead, so frames
+    on a binary-codec network are charged the binary size.
+    """
+    return JSON_CODEC.encoded_size(value)
+
+
+# ===========================================================================
+# The binary codec: compact length-prefixed encoding
+# ===========================================================================
+# One tag byte per value; LEB128 varints for all lengths/counts and for
+# integers (zigzag-mapped); IEEE-754 big-endian doubles for floats; raw
+# UTF-8 / byte runs (no base64).  Tag values are part of the wire format —
+# see docs/PROTOCOL.md §6 before renumbering anything.
+
+_B_NONE = 0x00
+_B_FALSE = 0x01
+_B_TRUE = 0x02
+_B_INT = 0x03
+_B_FLOAT = 0x04
+_B_STR = 0x05
+_B_BYTES = 0x06
+_B_LIST = 0x07
+_B_DICT = 0x08
+_B_TUPLE = 0x09
+_B_SPEC_ACTUAL = 0x10
+_B_SPEC_FORMAL = 0x11
+_B_SPEC_ANY = 0x12
+_B_SPEC_RANGE = 0x13
+_B_PATTERN = 0x14
+
+#: Formal type indexes for the one-byte ``SPEC_FORMAL`` operand.
+_FORMAL_INDEX = {"bool": 0, "int": 1, "float": 2, "str": 3, "bytes": 4,
+                 "Tuple": 5}
+_FORMAL_BY_INDEX = {i: _FORMAL_TYPES[name] for name, i in _FORMAL_INDEX.items()}
+
+_pack_double = struct.Struct(">d").pack
+_unpack_double = struct.Struct(">d").unpack_from
+
+
+def _append_varint(buf: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    while value > 0x7F:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def _read_varint(data: bytes, pos: int) -> "tuple[int, int]":
+    """Read an unsigned LEB128 varint; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    length = len(data)
+    while True:
+        if pos >= length:
+            raise SerializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 448:  # 64 bytes of continuation: not a plausible length
+            raise SerializationError("varint too long")
+
+
+def _append_value(buf: bytearray, value: Any) -> None:
+    """Append one payload value (tag byte + operands) to ``buf``."""
+    if value is None:
+        buf.append(_B_NONE)
+    elif value is True:
+        buf.append(_B_TRUE)
+    elif value is False:
+        buf.append(_B_FALSE)
+    elif isinstance(value, Tuple):
+        _append_tuple(buf, value)
+    elif isinstance(value, int):
+        buf.append(_B_INT)
+        # zigzag-map so small negatives stay small on the wire
+        _append_varint(buf, value << 1 if value >= 0 else ~(value << 1))
+    elif isinstance(value, float):
+        buf.append(_B_FLOAT)
+        buf += _pack_double(value)
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        buf.append(_B_STR)
+        _append_varint(buf, len(encoded))
+        buf += encoded
+    elif isinstance(value, bytes):
+        buf.append(_B_BYTES)
+        _append_varint(buf, len(value))
+        buf += value
+    elif isinstance(value, list):
+        buf.append(_B_LIST)
+        _append_varint(buf, len(value))
+        for item in value:
+            _append_value(buf, item)
+    elif isinstance(value, dict):
+        buf.append(_B_DICT)
+        _append_varint(buf, len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"binary payload dict keys must be str, got {key!r}")
+            encoded = key.encode("utf-8")
+            _append_varint(buf, len(encoded))
+            buf += encoded
+            _append_value(buf, item)
+    elif isinstance(value, Field):
+        _append_spec(buf, value)
     elif isinstance(value, Pattern):
-        payload = encode_pattern(value)
+        buf.append(_B_PATTERN)
+        specs = value.specs
+        _append_varint(buf, len(specs))
+        for spec in specs:
+            _append_spec(buf, spec)
     else:
-        payload = value
+        raise SerializationError(f"cannot binary-encode {value!r}")
+
+
+def _append_tuple(buf: bytearray, value: Tuple) -> None:
+    """Inlined tuple encoder: the hottest path on a binary wire.
+
+    Exact-type dispatch (``type(f) is str`` ...) avoids the generic
+    encoder's isinstance chain and per-field function call; semantics are
+    identical because tuple fields are validated at construction.
+    """
+    buf.append(_B_TUPLE)
+    fields = value.fields
+    _append_varint(buf, len(fields))
+    for field in fields:
+        cls = type(field)
+        if cls is str:
+            encoded = field.encode("utf-8")
+            buf.append(_B_STR)
+            n = len(encoded)
+            if n < 0x80:
+                buf.append(n)
+            else:
+                _append_varint(buf, n)
+            buf += encoded
+        elif cls is int:
+            buf.append(_B_INT)
+            raw = field << 1 if field >= 0 else ~(field << 1)
+            if raw < 0x80:
+                buf.append(raw)
+            else:
+                _append_varint(buf, raw)
+        elif cls is float:
+            buf.append(_B_FLOAT)
+            buf += _pack_double(field)
+        elif cls is bool:
+            buf.append(_B_TRUE if field else _B_FALSE)
+        elif cls is bytes:
+            buf.append(_B_BYTES)
+            n = len(field)
+            if n < 0x80:
+                buf.append(n)
+            else:
+                _append_varint(buf, n)
+            buf += field
+        else:  # nested Tuple (possibly a subclass)
+            _append_tuple(buf, field)
+
+
+def _append_spec(buf: bytearray, spec: Field) -> None:
+    if isinstance(spec, Actual):
+        buf.append(_B_SPEC_ACTUAL)
+        _append_value(buf, spec.value)
+    elif isinstance(spec, Formal):
+        buf.append(_B_SPEC_FORMAL)
+        buf.append(_FORMAL_INDEX[spec.type.__name__])
+    elif spec == ANY:
+        buf.append(_B_SPEC_ANY)
+    elif isinstance(spec, Range):
+        buf.append(_B_SPEC_RANGE)
+        _append_value(buf, spec.lo)
+        _append_value(buf, spec.hi)
+    else:
+        raise SerializationError(f"cannot binary-encode pattern spec {spec!r}")
+
+
+def _read_value(data: bytes, pos: int) -> "tuple[Any, int]":
+    length = len(data)
+    if pos >= length:
+        raise SerializationError("truncated binary value")
+    tag = data[pos]
+    pos += 1
+    if tag == _B_NONE:
+        return None, pos
+    if tag == _B_TRUE:
+        return True, pos
+    if tag == _B_FALSE:
+        return False, pos
+    if tag == _B_INT:
+        raw, pos = _read_varint(data, pos)
+        return (raw >> 1) ^ -(raw & 1), pos
+    if tag == _B_FLOAT:
+        if pos + 8 > length:
+            raise SerializationError("truncated float")
+        return _unpack_double(data, pos)[0], pos + 8
+    if tag == _B_STR:
+        n, pos = _read_varint(data, pos)
+        if pos + n > length:
+            raise SerializationError("truncated string")
+        return data[pos:pos + n].decode("utf-8"), pos + n
+    if tag == _B_BYTES:
+        n, pos = _read_varint(data, pos)
+        if pos + n > length:
+            raise SerializationError("truncated bytes")
+        return bytes(data[pos:pos + n]), pos + n
+    if tag == _B_LIST:
+        n, pos = _read_varint(data, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _read_value(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _B_DICT:
+        n, pos = _read_varint(data, pos)
+        out: dict = {}
+        for _ in range(n):
+            klen, pos = _read_varint(data, pos)
+            if pos + klen > length:
+                raise SerializationError("truncated dict key")
+            key = data[pos:pos + klen].decode("utf-8")
+            pos += klen
+            out[key], pos = _read_value(data, pos)
+        return out, pos
+    if tag == _B_TUPLE:
+        return _read_tuple(data, pos)
+    if tag == _B_PATTERN:
+        n, pos = _read_varint(data, pos)
+        specs = []
+        for _ in range(n):
+            spec, pos = _read_spec(data, pos)
+            specs.append(spec)
+        return Pattern(*specs), pos
+    if tag in (_B_SPEC_ACTUAL, _B_SPEC_FORMAL, _B_SPEC_ANY, _B_SPEC_RANGE):
+        return _read_spec(data, pos - 1)
+    raise SerializationError(f"unknown binary tag 0x{tag:02x}")
+
+
+def _read_tuple(data: bytes, pos: int) -> "tuple[Tuple, int]":
+    """Decode a tuple body (after its tag byte) via the trusted fast path.
+
+    Only *field-value* tags are admitted inside a tuple, which proves field
+    validity by construction and licenses :meth:`Tuple._from_trusted` —
+    skipping the per-field re-validation of the public constructor.
+    """
+    n, pos = _read_varint(data, pos)
+    if n == 0:
+        raise SerializationError("a tuple must have at least one field")
+    length = len(data)
+    fields = []
+    append = fields.append
+    for _ in range(n):
+        if pos >= length:
+            raise SerializationError("truncated tuple field")
+        tag = data[pos]
+        pos += 1
+        if tag == _B_INT:
+            if pos < length and data[pos] < 0x80:   # 1-byte varint fast path
+                raw = data[pos]
+                pos += 1
+            else:
+                raw, pos = _read_varint(data, pos)
+            append((raw >> 1) ^ -(raw & 1))
+        elif tag == _B_STR:
+            if pos < length and data[pos] < 0x80:
+                size = data[pos]
+                pos += 1
+            else:
+                size, pos = _read_varint(data, pos)
+            if pos + size > length:
+                raise SerializationError("truncated string")
+            append(data[pos:pos + size].decode("utf-8"))
+            pos += size
+        elif tag == _B_FLOAT:
+            if pos + 8 > length:
+                raise SerializationError("truncated float")
+            append(_unpack_double(data, pos)[0])
+            pos += 8
+        elif tag == _B_TRUE:
+            append(True)
+        elif tag == _B_FALSE:
+            append(False)
+        elif tag == _B_BYTES:
+            size, pos = _read_varint(data, pos)
+            if pos + size > length:
+                raise SerializationError("truncated bytes")
+            append(bytes(data[pos:pos + size]))
+            pos += size
+        elif tag == _B_TUPLE:
+            nested, pos = _read_tuple(data, pos)
+            append(nested)
+        else:
+            raise SerializationError(
+                f"tag 0x{tag:02x} is not a tuple field value")
+    return Tuple._from_trusted(tuple(fields)), pos
+
+
+def _read_spec(data: bytes, pos: int) -> "tuple[Field, int]":
+    if pos >= len(data):
+        raise SerializationError("truncated spec")
+    tag = data[pos]
+    pos += 1
+    if tag == _B_SPEC_ACTUAL:
+        value, pos = _read_value(data, pos)
+        return Actual(value), pos
+    if tag == _B_SPEC_FORMAL:
+        if pos >= len(data):
+            raise SerializationError("truncated formal spec")
+        type_ = _FORMAL_BY_INDEX.get(data[pos])
+        if type_ is None:
+            raise SerializationError(f"unknown formal index {data[pos]}")
+        return Formal(type_), pos + 1
+    if tag == _B_SPEC_ANY:
+        return ANY, pos
+    if tag == _B_SPEC_RANGE:
+        lo, pos = _read_value(data, pos)
+        hi, pos = _read_value(data, pos)
+        return Range(lo, hi), pos
+    raise SerializationError(f"unknown spec tag 0x{tag:02x}")
+
+
+def encode_tuple_binary(tup: Tuple) -> bytes:
+    """Encode a tuple to the compact binary wire form."""
+    if not isinstance(tup, Tuple):
+        raise SerializationError(f"not a tuple: {tup!r}")
+    buf = bytearray()
+    _append_value(buf, tup)
+    return bytes(buf)
+
+
+def decode_tuple_binary(data: Union[bytes, bytearray]) -> Tuple:
+    """Decode a tuple from the binary wire form (strict; see module doc)."""
     try:
-        return len(json.dumps(payload, separators=(",", ":")))
-    except TypeError as exc:
-        raise SerializationError(f"payload is not JSON-representable: {exc}") from exc
+        value, pos = _read_value(bytes(data), 0)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"malformed binary tuple: {exc}") from exc
+    if not isinstance(value, Tuple) or pos != len(data):
+        raise SerializationError("encoded value is not exactly one tuple")
+    return value
+
+
+def encode_pattern_binary(pattern: Pattern) -> bytes:
+    """Encode a pattern (antituple) to the binary wire form."""
+    if not isinstance(pattern, Pattern):
+        raise SerializationError(f"not a pattern: {pattern!r}")
+    buf = bytearray()
+    _append_value(buf, pattern)
+    return bytes(buf)
+
+
+def decode_pattern_binary(data: Union[bytes, bytearray]) -> Pattern:
+    """Decode a pattern from the binary wire form (strict)."""
+    try:
+        value, pos = _read_value(bytes(data), 0)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"malformed binary pattern: {exc}") from exc
+    if not isinstance(value, Pattern) or pos != len(data):
+        raise SerializationError("encoded value is not exactly one pattern")
+    return value
+
+
+def encode_payload_binary(payload: dict) -> bytes:
+    """Encode a whole frame payload dict to the binary wire form."""
+    if not isinstance(payload, dict):
+        raise SerializationError(f"payload must be a dict, got {payload!r}")
+    buf = bytearray()
+    _append_value(buf, payload)
+    return bytes(buf)
+
+
+def decode_payload_binary(data: Union[bytes, bytearray]) -> dict:
+    """Decode a frame payload dict from the binary wire form (strict)."""
+    try:
+        value, pos = _read_value(bytes(data), 0)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"malformed binary payload: {exc}") from exc
+    if not isinstance(value, dict) or pos != len(data):
+        raise SerializationError("encoded value is not exactly one payload dict")
+    return value
+
+
+# ===========================================================================
+# Codec objects: the network/lease layers' uniform view
+# ===========================================================================
+class WireCodec:
+    """A named wire encoding with consistent byte accounting.
+
+    ``encoded_size`` accepts a :class:`Tuple`, a :class:`Pattern`, or an
+    already-encoded payload (a JSON-representable dict/list), so the same
+    codec prices frames for latency, network byte counters, and lease
+    storage accounting — one source of truth per wire.
+    """
+
+    name: str = "?"
+
+    def encoded_size(self, value: Any) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WireCodec {self.name}>"
+
+
+class JsonWireCodec(WireCodec):
+    """The tag-first JSON encoding (the repository's original wire)."""
+
+    name = "json"
+
+    def encoded_size(self, value: Any) -> int:
+        if isinstance(value, Tuple):
+            payload: Any = encode_tuple(value)
+        elif isinstance(value, Pattern):
+            payload = encode_pattern(value)
+        else:
+            payload = value
+        try:
+            return len(json.dumps(payload, separators=(",", ":")))
+        except TypeError as exc:
+            raise SerializationError(
+                f"payload is not JSON-representable: {exc}") from exc
+
+
+class BinaryWireCodec(WireCodec):
+    """The compact length-prefixed binary encoding."""
+
+    name = "binary"
+
+    def encoded_size(self, value: Any) -> int:
+        buf = bytearray()
+        _append_value(buf, value)
+        return len(buf)
+
+
+JSON_CODEC = JsonWireCodec()
+BINARY_CODEC = BinaryWireCodec()
+
+_CODECS: "dict[str, WireCodec]" = {
+    "json": JSON_CODEC,
+    "binary": BINARY_CODEC,
+}
+
+
+def get_codec(name: Union[str, WireCodec, None]) -> WireCodec:
+    """Resolve a codec by name (``"json"``/``"binary"``); instances pass
+    through; ``None`` selects the JSON default."""
+    if name is None:
+        return JSON_CODEC
+    if isinstance(name, WireCodec):
+        return name
+    codec = _CODECS.get(name)
+    if codec is None:
+        raise SerializationError(
+            f"unknown wire codec {name!r}; available: {sorted(_CODECS)}")
+    return codec

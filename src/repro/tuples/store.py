@@ -13,6 +13,16 @@ the repository (Tiamat's local spaces and all five baselines).  It supports:
   instance that finds a match holds the tuple while it races other
   responders; the loser releases ("the remaining instances place the tuples
   back into their respective spaces", section 3.1.3).
+
+**Scan caching**: repeated queries with the same pattern against an
+unchanged store are the common case in polling workloads (blocking ``rd``
+re-checking after every wakeup, serving instances re-matching registered
+queries).  ``_scan`` memoizes its result per pattern, keyed to a
+**store version** that every visibility-changing mutation (add, remove,
+hold, release) bumps — so a hit is provably identical to a fresh scan and
+the cache can never serve stale entries.  Hits and misses are counted
+(``scan_cache_hits`` / ``scan_cache_misses``) and surface in the metrics
+registry via ``Observability.observe_space``.
 """
 
 from __future__ import annotations
@@ -56,6 +66,12 @@ class StoredEntry:
 class TupleStore:
     """Arity-indexed multiset of tuples with hold/confirm/release removal."""
 
+    #: Cached distinct patterns per store before the scan cache is wiped.
+    #: Mutation-heavy workloads invalidate constantly (every bump strands
+    #: the old version's entries), so the cap bounds stale-entry memory,
+    #: not hit rate.
+    SCAN_CACHE_MAX = 256
+
     def __init__(self) -> None:
         self._ids = itertools.count(1)
         self._entries: dict[int, StoredEntry] = {}
@@ -63,11 +79,18 @@ class TupleStore:
         self._by_arity: dict[int, dict[int, StoredEntry]] = {}
         # (arity, position, value-key) -> dict of entry_id -> StoredEntry
         self._by_actual: dict[tuple, dict[int, StoredEntry]] = {}
+        # Monotone version, bumped by every visibility-changing mutation;
+        # the scan cache keys its entries to it (see module docstring).
+        self._version = 0
+        self._scan_cache: dict[Pattern, tuple[int, list[StoredEntry]]] = {}
         # statistics: how much work match scans do (index effectiveness)
         self.scans = 0
         self.entries_scanned = 0
+        self.scan_cache_hits = 0
+        self.scan_cache_misses = 0
         #: Optional ``fn(candidates_examined)`` per scan (installed by
         #: ``Observability.observe_space`` — feeds the scan-length histogram).
+        #: Cache hits report 0 examined entries: that is the point.
         self.scan_observer = None
 
     # ------------------------------------------------------------------
@@ -75,6 +98,7 @@ class TupleStore:
     # ------------------------------------------------------------------
     def add(self, tup: Tuple, meta: Optional[dict] = None) -> StoredEntry:
         """Insert a tuple; returns its entry (ids are unique per store)."""
+        self._version += 1
         entry = StoredEntry(next(self._ids), tup, meta)
         self._entries[entry.entry_id] = entry
         self._by_arity.setdefault(tup.arity, {})[entry.entry_id] = entry
@@ -88,6 +112,7 @@ class TupleStore:
         entry = self._entries.pop(entry_id, None)
         if entry is None:
             raise TupleError(f"no entry #{entry_id} in store")
+        self._version += 1
         entry.removed = True
         entry.held = False
         self._by_arity[entry.tuple.arity].pop(entry_id, None)
@@ -108,6 +133,7 @@ class TupleStore:
         entry = self._require(entry_id)
         if entry.held:
             raise TupleError(f"entry #{entry_id} already held")
+        self._version += 1
         entry.held = True
         return entry
 
@@ -123,17 +149,25 @@ class TupleStore:
         entry = self._require(entry_id)
         if not entry.held:
             raise TupleError(f"entry #{entry_id} not held; cannot release")
+        self._version += 1
         entry.held = False
         return entry
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def candidates(self, pattern: Pattern) -> Iterator[StoredEntry]:
+    def candidates(self, pattern: Pattern,
+                   snapshot: bool = False) -> Iterator[StoredEntry]:
         """Visible entries that *may* match, via the cheapest index.
 
         Uses the smallest bucket among the pattern's actual-field indexes,
         falling back to the arity bucket when the pattern is all formals.
+
+        Iteration is **lazy** over the live index bucket — no per-scan
+        copy of a potentially huge bucket.  Callers that mutate the store
+        while iterating (removing expired entries, holding matches) must
+        pass ``snapshot=True``, which materialises the bucket first;
+        read-only consumers (``_scan`` and friends) pay nothing.
         """
         buckets = [self._by_arity.get(pattern.arity, {})]
         for pos, spec in enumerate(pattern.specs):
@@ -141,7 +175,8 @@ class TupleStore:
                 key = (pattern.arity, pos, self._value_key(spec.value))
                 buckets.append(self._by_actual.get(key, {}))
         smallest = min(buckets, key=len)
-        for entry in list(smallest.values()):
+        source = list(smallest.values()) if snapshot else smallest.values()
+        for entry in source:
             if entry.visible:
                 yield entry
 
@@ -166,7 +201,21 @@ class TupleStore:
         return found
 
     def _scan(self, pattern: Pattern) -> list[StoredEntry]:
-        """Matching visible entries, with scan-cost accounting."""
+        """Matching visible entries, with scan-cost accounting.
+
+        Results are memoized per (pattern, store version): a repeat query
+        against an unchanged store returns the cached match list without
+        touching the indexes (counted as a scan that examined 0 entries).
+        Both hit and miss return a fresh list — callers may sort or
+        truncate their copy without corrupting the cache.
+        """
+        cached = self._scan_cache.get(pattern)
+        if cached is not None and cached[0] == self._version:
+            self.scans += 1
+            self.scan_cache_hits += 1
+            if self.scan_observer is not None:
+                self.scan_observer(0)
+            return list(cached[1])
         examined = 0
         found: list[StoredEntry] = []
         for entry in self.candidates(pattern):
@@ -175,9 +224,13 @@ class TupleStore:
                 found.append(entry)
         self.scans += 1
         self.entries_scanned += examined
+        self.scan_cache_misses += 1
+        if len(self._scan_cache) >= self.SCAN_CACHE_MAX:
+            self._scan_cache.clear()
+        self._scan_cache[pattern] = (self._version, found)
         if self.scan_observer is not None:
             self.scan_observer(examined)
-        return found
+        return list(found)
 
     def get(self, entry_id: int) -> Optional[StoredEntry]:
         """The entry with this id, or None if it was removed."""

@@ -11,11 +11,9 @@ from repro.apps import (
     WebScenario,
 )
 from repro.core import TiamatConfig, TiamatInstance
-from repro.errors import LeaseRefusedError
-from repro.leasing import DenyAllPolicy, LeaseTerms, SimpleLeaseRequester
+from repro.leasing import DenyAllPolicy
 from repro.net import Network
 from repro.sim import Simulator
-from repro.tuples import Pattern, Tuple
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Integration tests for the fractal master/worker application."""
 
-import pytest
 
 from repro.apps import FractalMaster, FractalWorker, mandelbrot_tile
 from repro.core import TiamatConfig, TiamatInstance

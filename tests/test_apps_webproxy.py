@@ -1,6 +1,5 @@
 """Integration tests for the web client / proxy application (section 3.2)."""
 
-import pytest
 
 from repro.apps import OriginFabric, WebScenario
 from repro.net import Network

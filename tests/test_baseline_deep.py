@@ -1,6 +1,5 @@
 """Deeper baseline protocol coverage: waits, queues, and partial failures."""
 
-import pytest
 
 from repro.baselines import (
     build_corelime_system,
@@ -10,7 +9,7 @@ from repro.baselines import (
 )
 from repro.net import Network
 from repro.sim import Simulator
-from repro.tuples import Formal, Pattern, Tuple
+from repro.tuples import Pattern, Tuple
 
 
 # ---------------------------------------------------------------------------

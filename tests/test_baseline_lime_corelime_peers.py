@@ -1,6 +1,5 @@
 """Tests for the LIME, CoreLime, and PeerSpaces baselines."""
 
-import pytest
 
 from repro.baselines import (
     build_corelime_system,

@@ -1,6 +1,5 @@
 """Unit tests for the bench harness: adapters, reporting, scenario builder."""
 
-import pytest
 
 from repro.bench import (
     CoreLimeAgentAdapter,
@@ -11,7 +10,6 @@ from repro.bench import (
 )
 from repro.baselines import build_corelime_system
 from repro.core import TiamatInstance
-from repro.errors import LeaseError
 from repro.leasing import DenyAllPolicy
 from repro.net import Network
 from repro.sim import Simulator

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core import TiamatConfig, TiamatInstance
-from repro.net import Network
+from repro.core import TiamatConfig
 from repro.sim import Simulator
 from repro.tuples import Pattern, Tuple
 

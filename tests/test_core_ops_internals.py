@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.core import TiamatConfig, TiamatInstance
+from repro.core import TiamatConfig
 from repro.leasing import LeaseTerms, SimpleLeaseRequester
-from repro.net import Network
 from repro.sim import Simulator
 from repro.tuples import Pattern, Tuple
 

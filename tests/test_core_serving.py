@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import TiamatConfig, TiamatInstance
 from repro.core import protocol
-from repro.leasing import LeaseTerms, OperationKind, SimpleLeaseRequester
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
 from repro.net import Network
 from repro.sim import Simulator
 from repro.tuples import Pattern, Tuple, encode_pattern

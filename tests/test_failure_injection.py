@@ -4,7 +4,6 @@ Leases are the backstop that keeps every operation terminating no matter
 what the network does; these tests hammer that property.
 """
 
-import pytest
 
 from repro.core import TiamatConfig, TiamatInstance
 from repro.leasing import LeaseTerms, SimpleLeaseRequester

@@ -1,6 +1,5 @@
 """Large-scale integration: global invariants over long, churning runs."""
 
-import pytest
 
 from repro.core import TiamatConfig, TiamatInstance
 from repro.leasing import LeaseTerms, SimpleLeaseRequester

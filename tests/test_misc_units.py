@@ -1,6 +1,5 @@
 """Small-unit coverage: stats, messages, errors, instance edge paths."""
 
-import pytest
 
 from repro.core import SpaceHandle, TiamatInstance
 from repro.errors import (
@@ -14,7 +13,6 @@ from repro.errors import (
     SimulationError,
     TupleError,
 )
-from repro.leasing import LeaseTerms, SimpleLeaseRequester
 from repro.net import Network
 from repro.net.message import Message
 from repro.net.stats import NetworkStats, NodeStats

@@ -11,8 +11,8 @@ from repro.core import (
 )
 from repro.core.monitoring import NeighborRecord
 from repro.errors import LeaseError
-from repro.leasing import LeaseTerms, OperationKind, SimpleLeaseRequester
-from repro.net import ChurnInjector, Network
+from repro.leasing import LeaseTerms, SimpleLeaseRequester
+from repro.net import Network
 from repro.sim import Simulator
 from repro.tuples import Pattern, Tuple
 

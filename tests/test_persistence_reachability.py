@@ -24,7 +24,6 @@ from repro.tuples import (
     snapshot_space,
 )
 
-from tests.test_core_instance import build, run_op
 
 
 # ---------------------------------------------------------------------------

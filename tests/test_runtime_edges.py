@@ -3,7 +3,6 @@
 import threading
 import time
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

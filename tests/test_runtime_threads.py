@@ -3,7 +3,6 @@
 import threading
 import time
 
-import pytest
 
 from repro.runtime import ThreadSafeTupleSpace, ThreadedNodeRegistry, ThreadedTiamatNode
 from repro.tuples import Formal, Pattern, Tuple
