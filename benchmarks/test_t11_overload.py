@@ -1,0 +1,115 @@
+"""T11: goodput vs offered load — admission control turns congestion
+collapse into a plateau.
+
+The scenario (shared with ``python -m repro.cli overload``; see
+:mod:`repro.bench.overload`): one server whose dispatch workers spend
+``serve_cost`` virtual seconds per query fields deadline-bearing blocking
+reads from eight Poisson clients.  Offered load sweeps 0.25x to 2x the
+server's capacity; both arms share identical workload randomness.
+
+Measured per point and arm:
+
+* **goodput** — operations satisfied *within their deadline* per second
+  (replies to already-expired origins count for nothing);
+* **served / shed / stale** — where the server spent (or refused to
+  spend) its worker time;
+* **refusals** — structured QUERY_REFUSED frames clients received
+  (each carries ``reason`` + ``retry_after``).
+
+Acceptance (the paper-shaped claim this PR exists to prove):
+
+* the uncontrolled server **collapses** — goodput at 2x saturation falls
+  below half its peak;
+* the admission-controlled server **plateaus** — goodput at 2x stays at
+  >= 80% of its peak, and above the uncontrolled arm's by a wide margin;
+* below saturation the controller is invisible (within a few percent of
+  the uncontrolled arm).
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table
+from repro.bench.overload import (
+    CLIENTS,
+    DURATION,
+    OP_DEADLINE,
+    QUEUE_BOUND,
+    SERVE_COST,
+    SERVE_WORKERS,
+    run_overload_point,
+)
+
+SEED = 11
+MULTIPLIERS = (0.25, 0.5, 1.0, 1.5, 2.0)
+CAPACITY = SERVE_WORKERS / SERVE_COST
+
+
+def run_sweeps() -> dict:
+    """Both arms across the load sweep; keeps the 2x admission registry."""
+    arms: dict = {False: [], True: []}
+    registry_sink: list = []
+    for admission in (False, True):
+        for mult in MULTIPLIERS:
+            sink = (registry_sink
+                    if admission and mult == MULTIPLIERS[-1] else None)
+            arms[admission].append(run_overload_point(
+                SEED, mult * CAPACITY, admission=admission,
+                registry_sink=sink))
+    arms["_registry"] = registry_sink[0]
+    return arms
+
+
+def test_t11_overload(benchmark, report):
+    arms = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    report.metrics(arms.pop("_registry"))
+
+    table = Table(
+        "T11: goodput vs offered load - admission control ablation",
+        ["offered (x cap)", "admission", "started", "goodput (q/s)",
+         "served", "shed", "stale", "refusals", "mean latency"],
+        caption=f"capacity {CAPACITY:.0f} q/s ({SERVE_WORKERS} workers x "
+                f"{SERVE_COST}s/query); {CLIENTS} clients, deadline "
+                f"{OP_DEADLINE}s, queue bound {QUEUE_BOUND}, "
+                f"{DURATION}s per point, seed {SEED}",
+    )
+    for mult, uncontrolled, controlled in zip(
+            MULTIPLIERS, arms[False], arms[True]):
+        for point in (uncontrolled, controlled):
+            table.add_row(
+                f"{mult:.2f}",
+                "on" if point.admission else "off",
+                point.started,
+                f"{point.goodput:.2f}",
+                point.served,
+                point.sheds,
+                point.stale_dropped,
+                point.refusals_seen,
+                f"{point.mean_latency * 1e3:.0f} ms",
+            )
+    report.table(table)
+
+    peak_off = max(p.goodput for p in arms[False])
+    peak_on = max(p.goodput for p in arms[True])
+    at2_off = arms[False][-1].goodput
+    at2_on = arms[True][-1].goodput
+
+    # --- collapse: the uncontrolled server falls off a cliff ----------
+    assert at2_off < 0.5 * peak_off, (at2_off, peak_off)
+
+    # --- plateau: the controlled server holds its peak at 2x ----------
+    assert at2_on >= 0.8 * peak_on, (at2_on, peak_on)
+    assert at2_on >= 0.8 * CAPACITY, (at2_on, CAPACITY)
+    assert at2_on > 2.0 * at2_off, (at2_on, at2_off)
+
+    # --- and is invisible below saturation ----------------------------
+    for mult, uncontrolled, controlled in zip(
+            MULTIPLIERS, arms[False], arms[True]):
+        if mult <= 0.5:
+            assert controlled.satisfied == uncontrolled.satisfied, mult
+            assert controlled.sheds == 0, (mult, controlled.sheds)
+
+    # Every shed is structurally attributed, and clients saw the shape.
+    total_sheds = sum(p.sheds for p in arms[True])
+    attributed = sum(sum(p.shed_by_reason.values()) for p in arms[True])
+    assert total_sheds == attributed, (total_sheds, attributed)
+    assert sum(p.refusals_seen for p in arms[True]) > 0

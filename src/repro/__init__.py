@@ -27,7 +27,11 @@ Package map
 Quickstart: see ``examples/quickstart.py`` and the README.
 """
 
+from typing import Optional
+
 from repro.core import (
+    AdmissionController,
+    Refusal,
     SpaceHandle,
     TiamatConfig,
     TiamatInstance,
@@ -38,15 +42,33 @@ from repro.net import Network, VisibilityGraph
 from repro.sim import Simulator
 from repro.tuples import ANY, Formal, Pattern, Range, Tuple
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def create_instance(sim: Simulator, network: Network, name: str, *,
+                    config: Optional[TiamatConfig] = None,
+                    **kwargs) -> TiamatInstance:
+    """The one canonical way to construct a Tiamat node.
+
+    Equivalent to ``TiamatInstance(sim, network, name, config=config,
+    ...)`` with every tunable keyword-only — ``policy``,
+    ``storage_capacity``, ``thread_capacity``, ``router``, and ``space``
+    pass straight through.  Exists so application code has a single,
+    stable entry point while the class constructor completes its
+    keyword-only migration (see ``docs/API.md``).
+    """
+    return TiamatInstance(sim, network, name, config=config, **kwargs)
+
 
 __all__ = [
     "ANY",
+    "AdmissionController",
     "Formal",
     "LeaseTerms",
     "Network",
     "Pattern",
     "Range",
+    "Refusal",
     "SimpleLeaseRequester",
     "Simulator",
     "SpaceHandle",
@@ -56,4 +78,5 @@ __all__ = [
     "UnavailablePolicy",
     "VisibilityGraph",
     "__version__",
+    "create_instance",
 ]

@@ -1,0 +1,52 @@
+"""Backward-compatibility helpers for the keyword-only API migration.
+
+PR 4 moves every *optional* constructor parameter of the public surface
+(:class:`~repro.core.instance.TiamatInstance`,
+:class:`~repro.net.network.Network`,
+:class:`~repro.runtime.node.ThreadedTiamatNode`) behind ``*``: required
+identity arguments stay positional, everything tunable must be named.
+Old call sites that passed optionals positionally keep working for one
+deprecation cycle through :func:`absorb_positional`, which maps the legacy
+positional tail onto the keyword parameters and emits a
+:class:`DeprecationWarning` naming the rewrite.
+
+The deprecation policy itself is documented in ``docs/API.md``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Mapping
+
+
+def absorb_positional(cls_name: str, args: tuple,
+                      defaults: Mapping[str, Any],
+                      received: Mapping[str, Any]) -> dict:
+    """Map a legacy positional tail onto keyword-only parameters.
+
+    ``defaults`` is an *ordered* mapping of parameter name -> default value
+    (the order defines what each positional slot used to mean);
+    ``received`` holds the values actually bound via keywords.  Returns the
+    merged values.  Raises :class:`TypeError` for excess positionals or a
+    parameter supplied both ways, mirroring normal call semantics.
+    """
+    merged = dict(received)
+    if not args:
+        return merged
+    names = list(defaults)
+    if len(args) > len(names):
+        raise TypeError(
+            f"{cls_name}() takes at most {len(names)} optional positional "
+            f"arguments ({len(args)} given)")
+    absorbed = names[:len(args)]
+    warnings.warn(
+        f"passing {', '.join(absorbed)} to {cls_name}() positionally is "
+        f"deprecated and will become an error; pass "
+        f"{'it' if len(absorbed) == 1 else 'them'} by keyword instead",
+        DeprecationWarning, stacklevel=3)
+    for name, value in zip(names, args):
+        if merged[name] != defaults[name]:
+            raise TypeError(
+                f"{cls_name}() got multiple values for argument {name!r}")
+        merged[name] = value
+    return merged

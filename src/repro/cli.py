@@ -7,6 +7,7 @@
     python -m repro.cli compare --systems tiamat,central --nodes 8
     python -m repro.cli trace --seed 3 --loss 0.05 --chrome trace.json
     python -m repro.cli chaos --items 6 --seed 1
+    python -m repro.cli overload --clients 8 --duration 12
     python -m repro.cli stats --nodes 8 --duration 30 --format prom
 
 Subcommands:
@@ -26,6 +27,10 @@ Subcommands:
     A scripted fault scenario — burst loss, duplication, corruption, and a
     server power-cycle — with the trace, drop-reason stats, and
     reliability-sublayer counters printed (demo of ``repro.net.faults``).
+``overload``
+    The T11 goodput-vs-offered-load sweep, uncontrolled vs
+    admission-controlled serving side by side: congestion collapse versus
+    the shedding plateau (demo of ``repro.core.admission``).
 ``stats``
     Run the standard workload on a Tiamat cluster and dump the full
     metrics registry (Prometheus text or JSON), optionally with the
@@ -186,6 +191,43 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_overload(args: argparse.Namespace) -> int:
+    """Goodput vs offered load: collapse without admission, plateau with.
+
+    Runs the shared T11 scenario (:mod:`repro.bench.overload`) for both
+    arms and prints the goodput curve side by side.
+    """
+    from repro.bench.overload import run_overload_sweep
+
+    multipliers = tuple(float(m) for m in args.multipliers.split(","))
+    sweeps = {
+        admission: run_overload_sweep(
+            args.seed, admission=admission, multipliers=multipliers,
+            duration=args.duration, clients=args.clients)
+        for admission in (False, True)
+    }
+    capacity = sweeps[True].capacity
+    print(f"server capacity: {capacity:.0f} queries/s "
+          f"({args.clients} clients, {args.duration:.0f}s per point)")
+    table = Table(
+        "goodput vs offered load (queries/s)",
+        ["offered (x cap)", "uncontrolled", "admission", "shed", "refusals"])
+    for off_point, on_point in zip(sweeps[False].points, sweeps[True].points):
+        table.add_row(
+            f"{off_point.offered_rate / capacity:.2f}",
+            f"{off_point.goodput:.2f}",
+            f"{on_point.goodput:.2f}",
+            on_point.sheds,
+            on_point.refusals_seen,
+        )
+    print(table.render())
+    at2_off = sweeps[False].goodput_at(multipliers[-1])
+    at2_on = sweeps[True].goodput_at(multipliers[-1])
+    print(f"at {multipliers[-1]:.2f}x capacity: uncontrolled "
+          f"{at2_off:.1f} q/s vs admission {at2_on:.1f} q/s")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Scripted fault scenario: chaos vs the reliability sublayer."""
     sim = Simulator(seed=args.seed)
@@ -294,6 +336,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="baseline JSON to diff against "
                            "(default BENCH_micro.json)")
 
+    overload = sub.add_parser(
+        "overload",
+        help="goodput vs offered load: admission-control ablation (T11)")
+    overload.add_argument("--clients", type=int, default=8)
+    overload.add_argument("--duration", type=float, default=12.0,
+                          help="seconds of offered load per point")
+    overload.add_argument("--multipliers", default="0.25,0.5,1.0,1.5,2.0",
+                          help="offered load as multiples of capacity")
+
     stats = sub.add_parser(
         "stats", help="run the standard workload and dump the metrics registry")
     stats.add_argument("--nodes", type=int, default=8)
@@ -311,6 +362,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "trace": cmd_trace,
     "chaos": cmd_chaos,
+    "overload": cmd_overload,
     "stats": cmd_stats,
     "perf": cmd_perf,
 }

@@ -28,6 +28,14 @@ See :class:`~repro.core.instance.TiamatInstance` for the full API and
 (propagation mode, comms strategy).
 """
 
+from repro.core.admission import (
+    ALL_REFUSAL_REASONS,
+    AdmissionController,
+    AdmissionDecision,
+    FairShare,
+    Refusal,
+    parse_refusal,
+)
 from repro.core.config import TiamatConfig
 from repro.core.comms import CommsManager
 from repro.core.evaltask import EvalTask
@@ -50,17 +58,22 @@ from repro.core.routing import (
 from repro.core.serving import QueryServer
 
 __all__ = [
+    "ALL_REFUSAL_REASONS",
+    "AdmissionController",
+    "AdmissionDecision",
     "AppMonitor",
     "CommsManager",
     "ConflictResolver",
     "EvalTask",
+    "FairShare",
     "LeaseTuner",
     "Operation",
     "QueryServer",
-    "ReliableChannel",
-    "RtsMonitor",
     "RandomRelayRouter",
+    "Refusal",
+    "ReliableChannel",
     "Router",
+    "RtsMonitor",
     "SPACE_INFO_PATTERN",
     "SPACE_INFO_TAG",
     "SocialRouter",
@@ -68,4 +81,5 @@ __all__ = [
     "TiamatConfig",
     "TiamatInstance",
     "UnavailablePolicy",
+    "parse_refusal",
 ]

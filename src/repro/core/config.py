@@ -95,6 +95,46 @@ class TiamatConfig:
         harnesses that build the :class:`~repro.net.network.Network`;
         kept here so experiment configs can ablate the codec alongside
         protocol behaviour.
+    serve_cost:
+        Virtual worker-seconds one inbound QUERY costs to dispatch.  ``0``
+        (the default) keeps the original inline serving path — a QUERY is
+        handled the instant it arrives.  ``> 0`` routes arriving QUERYs
+        through the bounded inbound serving queue drained by
+        ``serve_workers`` dispatch workers, which is where overload (and
+        admission control) becomes observable.
+    serve_workers:
+        Dispatch workers draining the inbound serving queue (only
+        meaningful with ``serve_cost > 0``).
+    admission_enabled:
+        Whether the :class:`~repro.core.admission.AdmissionController` is
+        consulted at QUERY arrival, before any lease or thread
+        allocation.  Off (the default) reproduces the uncontrolled
+        baseline bit for bit: refusals only happen once the lease manager
+        or thread pool says no.
+    admission_queue_bound:
+        Maximum inbound serving-queue depth (or, with inline serving,
+        maximum concurrent servings) before arriving QUERYs are shed with
+        ``reason="queue_full"``.
+    admission_price_curve:
+        Multiplier on the estimated queue delay when pricing work against
+        its own deadline; ``> 1`` sheds earlier (conservative), ``< 1``
+        later (optimistic).
+    admission_fairness:
+        Whether per-peer fair-share token buckets (denominated in
+        worker-seconds, per section 2.5's arbitrary lease resources) gate
+        admission so one hot origin cannot starve the rest.
+    admission_burst:
+        Fair-share bucket capacity, in worker-seconds: how much serving
+        capacity one origin may consume in a burst before its refill rate
+        throttles it.
+    admission_retry_floor:
+        Minimum ``retry_after`` hint attached to a shed refusal.
+    backoff_on_refusal:
+        Whether blocking operations whose QUERY was refused *with a
+        ``retry_after`` hint* re-contact the refusing peer after a capped
+        exponential backoff (+ jitter, honouring the hint) instead of
+        writing the peer off.  Only admission-enabled servers send hints,
+        so this is inert against uncontrolled peers.
     """
 
     propagate_mode: str = "start"
@@ -114,6 +154,15 @@ class TiamatConfig:
     dedup_window: int = 256
     ack_piggyback: bool = False
     wire_codec: str = "json"
+    serve_cost: float = 0.0
+    serve_workers: int = 4
+    admission_enabled: bool = False
+    admission_queue_bound: int = 64
+    admission_price_curve: float = 1.0
+    admission_fairness: bool = True
+    admission_burst: float = 0.25
+    admission_retry_floor: float = 0.05
+    backoff_on_refusal: bool = True
 
     def __post_init__(self) -> None:
         if self.propagate_mode not in ("start", "continuous"):
@@ -126,6 +175,14 @@ class TiamatConfig:
             raise ValueError("dedup_window must be >= 1")
         if self.wire_codec not in ("json", "binary"):
             raise ValueError(f"bad wire_codec {self.wire_codec!r}")
+        if self.serve_cost < 0:
+            raise ValueError("serve_cost must be >= 0")
+        if self.serve_workers < 1:
+            raise ValueError("serve_workers must be >= 1")
+        if self.admission_queue_bound < 1:
+            raise ValueError("admission_queue_bound must be >= 1")
+        if self.admission_price_curve <= 0:
+            raise ValueError("admission_price_curve must be > 0")
 
     def default_terms(self, kind: OperationKind) -> LeaseTerms:
         """The default lease request for an operation kind."""

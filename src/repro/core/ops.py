@@ -29,6 +29,7 @@ import itertools
 from typing import Optional
 
 from repro.core import protocol
+from repro.core.admission import Refusal, parse_refusal
 from repro.leasing import Lease, OperationKind
 from repro.sim.events import AnyOf, Event
 from repro.tuples import Pattern, Tuple, encode_pattern
@@ -53,10 +54,15 @@ class Operation:
         self.result: Optional[Tuple] = None
         self.source: Optional[str] = None
         self.contacted: list[str] = []
+        #: Structured refusals received so far (one :class:`Refusal` per
+        #: QUERY_REFUSED frame), so callers can distinguish "nothing
+        #: matched" from "the peer shed the work, retry in 0.3 s".
+        self.refusals: list[Refusal] = []
         self._closed_peers: set[str] = set()
         self._local_waiter = None
         self._reply_events: dict[str, Event] = {}
         self._unsubscribe_visibility = None
+        self._refusal_attempts: dict[str, int] = {}
         lease.on_end(self._on_lease_end)
 
     # ------------------------------------------------------------------
@@ -282,12 +288,17 @@ class Operation:
         """A QUERY_REPLY / QUERY_REFUSED arrived for this operation."""
         self.instance.comms.note_alive(peer)
         self._closed_peers.add(peer)
+        refused = payload.get("kind") == protocol.QUERY_REFUSED
+        if refused:
+            self.refusals.append(parse_refusal(peer, payload))
         pending = self._reply_events.get(peer)
         if pending is not None and not pending.triggered:
             # A probe is synchronously waiting on this peer.
             pending.succeed(payload)
             return
-        if payload.get("kind") == protocol.QUERY_REFUSED or not payload.get("found"):
+        if refused or not payload.get("found"):
+            if refused:
+                self._maybe_backoff_retry(self.refusals[-1])
             return
         # Unsolicited positive reply: a blocking operation's match (or a
         # probe reply that arrived after its per-peer timeout).
@@ -308,6 +319,50 @@ class Operation:
                 "entry_id": entry_id,
             }, deadline=self._claim_deadline())
         self._finalize(tup, peer)
+
+    # ------------------------------------------------------------------
+    # Backoff after a shed refusal (admission control, honoring the hint)
+    # ------------------------------------------------------------------
+    def _maybe_backoff_retry(self, refusal: Refusal) -> None:
+        """Re-contact a refusing peer after capped exponential backoff.
+
+        Only blocking operations retry (probes have their own move-on
+        ladder), and only refusals carrying a ``retry_after`` hint — i.e.
+        admission-control sheds — trigger it, so behaviour against
+        uncontrolled peers is unchanged.  The delay honours the hint as a
+        floor, grows exponentially with the per-peer attempt count, is
+        capped, and carries multiplicative jitter so synchronized losers
+        do not re-arrive in lockstep.  Every retry still spends one unit
+        of the lease's remote budget: backoff is lease-priced, not free.
+        """
+        if (self.done or refusal.retry_after is None
+                or self.kind not in (OperationKind.RD, OperationKind.IN)
+                or not self.instance.config.backoff_on_refusal
+                or not self.lease.active):
+            return
+        config = self.instance.config
+        peer = refusal.peer
+        attempt = self._refusal_attempts.get(peer, 0)
+        self._refusal_attempts[peer] = attempt + 1
+        delay = min(config.retry_initial * (config.retry_backoff ** attempt),
+                    config.retry_max_interval)
+        delay = max(delay, refusal.retry_after)
+        rng = self.instance.sim.rng(f"backoff/{self.instance.name}")
+        delay *= 1.0 + config.retry_jitter * rng.random()
+        remaining = self.lease.remaining_time(self.instance.sim.now)
+        if remaining is not None and delay >= remaining:
+            return  # the lease will have ended; a retry could not be served
+        self.instance.sim.schedule(delay, self._retry_refused, peer)
+
+    def _retry_refused(self, peer: str) -> None:
+        if self.done or not self.lease.active:
+            return
+        # Forget the previous contact so _contact_blocking re-sends (the
+        # retry consumes a fresh unit of the lease's remote budget).
+        if peer in self.contacted:
+            self.contacted.remove(peer)
+        self._closed_peers.discard(peer)
+        self._contact_blocking(peer)
 
     def _claim_deadline(self) -> float:
         """How long claim-resolution frames may be retransmitted.

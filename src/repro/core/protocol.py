@@ -14,8 +14,14 @@ operation propagation
     ``QUERY`` carries an encoded antituple plus the operation kind and the
     remaining lease time; ``QUERY_REPLY`` answers with a match (and, for
     destructive operations, the held entry id), ``QUERY_REFUSED`` signals
-    the serving instance's lease manager refused to dedicate effort, and
-    ``CANCEL`` withdraws an operation (satisfied elsewhere or lease over).
+    the serving instance declined to dedicate effort, and ``CANCEL``
+    withdraws an operation (satisfied elsewhere or lease over).  Every
+    ``QUERY_REFUSED`` carries a structured ``reason`` (one of
+    :data:`repro.core.admission.ALL_REFUSAL_REASONS` — serving-lease
+    refusal, thread exhaustion, queue overflow, unmeetable deadline, or
+    fair-share throttling) and, when the server runs an admission
+    controller, a ``retry_after`` hint in seconds that origins fold into
+    their capped exponential backoff (see ``docs/PROTOCOL.md`` section 9).
 
 claim resolution
     ``CLAIM_ACCEPT`` / ``CLAIM_REJECT`` implement first-responder-wins for

@@ -1,13 +1,25 @@
 """Serving side: how an instance works on *other* instances' operations.
 
-When a QUERY arrives, the receiving instance first negotiates an internal
-lease for the effort — "any Tiamat instance which, during the course of
-performing an operation, places demands on another, is responsible for
-negotiating any further leases" (section 2.5), and the lease manager is the
-first point of contact for *any* operation (Figure 2).  A refusal is
-reported back as QUERY_REFUSED and no work happens.
+When a QUERY arrives, the receiving instance first consults the admission
+plane (when enabled): the :class:`~repro.core.admission.AdmissionController`
+prices the work from live load signals *before* any lease or thread is
+allocated, and sheds with a structured refusal carrying ``reason`` and a
+``retry_after`` hint.  Admitted work then negotiates an internal lease for
+the effort — "any Tiamat instance which, during the course of performing an
+operation, places demands on another, is responsible for negotiating any
+further leases" (section 2.5), and the lease manager is the first point of
+contact for *any* operation (Figure 2).  A refusal is reported back as
+QUERY_REFUSED and no work happens.
 
-Probe queries are answered from the local space immediately.  Blocking
+With ``config.serve_cost > 0`` the server models dispatch effort
+explicitly: admitted QUERYs enter a bounded inbound queue drained by
+``config.serve_workers`` dispatch workers, each query costing
+``serve_cost`` virtual seconds of worker time before its probe/watch logic
+runs.  The default (``serve_cost == 0``) keeps the original inline path —
+arrival and dispatch are the same instant — so seeded experiments are
+unperturbed unless a config opts in.
+
+Probe queries are answered from the local space at dispatch.  Blocking
 queries register a local watch that lives until a match, a CANCEL, or the
 serving lease's expiry.  Destructive matches are **held** (two-phase) and
 *offered* to the origin; the hold is resolved by CLAIM_ACCEPT (consume),
@@ -17,9 +29,15 @@ evidently went away).
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import deque
+from typing import Any, Callable, Optional
 
 from repro.core import protocol
+from repro.core.admission import (
+    REFUSE_SERVING_LEASE,
+    REFUSE_THREADS,
+    AdmissionController,
+)
 from repro.errors import LeaseError
 from repro.leasing import Lease, LeaseTerms, OperationKind, SimpleLeaseRequester
 from repro.tuples import Pattern, Tuple, decode_pattern, encode_tuple
@@ -33,41 +51,71 @@ class Serving:
                  "thread_token")
 
     def __init__(self, op_id: str, origin: str, kind: OperationKind,
-                 pattern: Pattern, lease: Lease, thread_token=None) -> None:
+                 pattern: Pattern, lease: Lease,
+                 thread_token: Optional[Any] = None) -> None:
         self.op_id = op_id
         self.origin = origin
         self.kind = kind
         self.pattern = pattern
         self.lease = lease
-        self.waiter = None
+        self.waiter: Optional[Any] = None
         self.held_entry_id: Optional[int] = None
         self.offered = False
-        self.claim_timer = None
+        self.claim_timer: Optional[Any] = None
         self.closed = False
-        self.thread_token = thread_token
+        self.thread_token: Optional[Any] = thread_token
 
 
 class QueryServer:
     """The instance-side machinery for answering remote queries."""
 
-    def __init__(self, instance) -> None:
+    def __init__(self, instance: Any) -> None:
         self.instance = instance
         self._servings: dict[str, Serving] = {}
+        config = instance.config
+        # The admission plane: consulted at QUERY arrival, before any
+        # lease negotiation or thread allocation (default off).
+        self.admission: Optional[AdmissionController] = None
+        if config.admission_enabled:
+            self.admission = AdmissionController(
+                clock=lambda: self.instance.sim.now,
+                queue_bound=config.admission_queue_bound,
+                price_curve=config.admission_price_curve,
+                fairness=config.admission_fairness,
+                capacity_rate=float(config.serve_workers),
+                unit_cost=config.serve_cost,
+                burst=config.admission_burst,
+                retry_floor=config.admission_retry_floor,
+            )
+        # Bounded inbound serving queue (active only with serve_cost > 0):
+        # (origin, payload, arrived_at) triples drained by dispatch workers.
+        self._queue: deque[tuple[str, dict, float]] = deque()
+        self._queued_ids: set[str] = set()
+        self._busy_workers = 0
+        if config.serve_cost > 0:
+            # Serving-queue pressure feeds the lease manager's usage
+            # snapshot, so granting policies see inbound congestion the
+            # same way they see storage and thread pressure.
+            instance.leases.attach_pressure_signal(self.queue_pressure)
         # statistics
         self.served = 0
         self.refused = 0
+        self.sheds = 0
+        self.stale_dropped = 0
         self.offers_made = 0
         self.offers_won = 0
         self.offers_put_back = 0
         self.duplicate_queries = 0
+        #: Observer hook (set by repro.obs) for realized queue waits.
+        self.queue_wait_observer: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # Query arrival
     # ------------------------------------------------------------------
     def handle_query(self, origin: str, payload: dict) -> None:
-        """Entry point for a QUERY frame."""
+        """Entry point for a QUERY frame: admission, then queue or dispatch."""
         op_id = payload["op_id"]
-        if op_id in self._servings:
+        if op_id in self._servings or op_id in self._queued_ids:
             # A duplicated (or retransmitted) QUERY for work already in
             # progress: a second serving under the same id would overwrite
             # the first in the table, stranding its held entry, claim
@@ -75,19 +123,100 @@ class QueryServer:
             # must be idempotent, so drop it.
             self.duplicate_queries += 1
             return
+        config = self.instance.config
+        if self.admission is not None:
+            drain = (config.serve_workers / config.serve_cost
+                     if config.serve_cost > 0 else 0.0)
+            decision = self.admission.consider(
+                origin, payload.get("op", ""),
+                queue_depth=len(self._queue),
+                drain_rate=drain,
+                utilisation=self.instance.leases.threads.utilisation,
+                active_servings=len(self._servings),
+                deadline=payload.get("deadline"))
+            if not decision.admitted:
+                self.sheds += 1
+                tracer = self.instance.sim.obs.tracer
+                if tracer is not None:
+                    tracer.lease_event(op_id, self.instance.name, "shed",
+                                       reason=decision.reason)
+                self._refuse(origin, op_id, decision.reason,
+                             decision.retry_after)
+                return
+        if config.serve_cost <= 0:
+            self._dispatch_query(origin, payload)
+            return
+        self._queue.append((origin, payload, self.instance.sim.now))
+        self._queued_ids.add(op_id)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # The bounded inbound serving queue and its dispatch workers
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Hand queued queries to free dispatch workers."""
+        config = self.instance.config
+        while self._busy_workers < config.serve_workers and self._queue:
+            origin, payload, arrived_at = self._queue.popleft()
+            op_id = payload["op_id"]
+            if op_id not in self._queued_ids:
+                continue  # cancelled while queued
+            self._queued_ids.discard(op_id)
+            if self.queue_wait_observer is not None:
+                self.queue_wait_observer(self.instance.sim.now - arrived_at)
+            # With admission on, work whose origin lease has already run
+            # out is dropped at the queue head for free: replying to a
+            # dead origin is the waste admission control exists to avoid.
+            # The uncontrolled baseline faithfully burns a worker on it.
+            deadline = payload.get("deadline")
+            if (self.admission is not None and deadline is not None
+                    and self.instance.sim.now >= arrived_at + deadline):
+                self.stale_dropped += 1
+                tracer = self.instance.sim.obs.tracer
+                if tracer is not None:
+                    tracer.note(op_id, self.instance.name, "stale_dropped")
+                continue
+            self._busy_workers += 1
+            self.instance.sim.schedule(config.serve_cost,
+                                       self._worker_finish, origin, payload)
+
+    def _worker_finish(self, origin: str, payload: dict) -> None:
+        """A dispatch worker spent ``serve_cost`` on the query; run it."""
+        self._busy_workers -= 1
+        try:
+            self._dispatch_query(origin, payload)
+        finally:
+            self._pump()
+
+    @property
+    def queue_depth(self) -> int:
+        """Inbound QUERYs waiting for a dispatch worker."""
+        return len(self._queue)
+
+    def queue_pressure(self) -> float:
+        """Inbound queue fullness (0..1) for the lease manager's snapshot."""
+        bound = self.instance.config.admission_queue_bound
+        return min(1.0, len(self._queue) / bound) if bound else 0.0
+
+    # ------------------------------------------------------------------
+    # Dispatch: lease, thread, then probe or watch
+    # ------------------------------------------------------------------
+    def _dispatch_query(self, origin: str, payload: dict) -> None:
+        """The classic serving path: lease -> thread -> probe/watch."""
+        op_id = payload["op_id"]
         kind = OperationKind(payload["op"])
         pattern = decode_pattern(payload["pattern"])
         deadline = payload.get("deadline")
         tracer = self.instance.sim.obs.tracer
+        retry_hint = (self.instance.config.admission_retry_floor
+                      if self.admission is not None else None)
         lease = self._negotiate_serving_lease(kind, deadline)
         if lease is None:
             self.refused += 1
             if tracer is not None:
                 tracer.lease_event(op_id, self.instance.name, "refused",
-                                   reason="serving_lease")
-            self.instance.send(origin, {
-                "kind": protocol.QUERY_REFUSED, "op_id": op_id, "found": False,
-            })
+                                   reason=REFUSE_SERVING_LEASE)
+            self._refuse(origin, op_id, REFUSE_SERVING_LEASE, retry_hint)
             return
         # Serving consumes a worker thread, allocated through the lease
         # manager's factory (3.1.1); an exhausted pool refuses the work.
@@ -97,10 +226,8 @@ class QueryServer:
             self.refused += 1
             if tracer is not None:
                 tracer.lease_event(op_id, self.instance.name, "refused",
-                                   reason="threads_exhausted")
-            self.instance.send(origin, {
-                "kind": protocol.QUERY_REFUSED, "op_id": op_id, "found": False,
-            })
+                                   reason=REFUSE_THREADS)
+            self._refuse(origin, op_id, REFUSE_THREADS, retry_hint)
             return
         self.served += 1
         if tracer is not None:
@@ -111,6 +238,15 @@ class QueryServer:
         else:
             self._serve_blocking(origin, op_id, kind, pattern, lease,
                                  thread_token)
+
+    def _refuse(self, origin: str, op_id: str, reason: Optional[str],
+                retry_after: Optional[float] = None) -> None:
+        """Send the one structured QUERY_REFUSED shape every emitter uses."""
+        payload: dict = {"kind": protocol.QUERY_REFUSED, "op_id": op_id,
+                         "found": False, "reason": reason}
+        if retry_after is not None:
+            payload["retry_after"] = retry_after
+        self.instance.send(origin, payload)
 
     def _negotiate_serving_lease(self, kind: OperationKind,
                                  deadline: Optional[float]) -> Optional[Lease]:
@@ -127,7 +263,8 @@ class QueryServer:
     # Probes: answer from the current local space
     # ------------------------------------------------------------------
     def _serve_probe(self, origin: str, op_id: str, kind: OperationKind,
-                     pattern: Pattern, lease: Lease, thread_token) -> None:
+                     pattern: Pattern, lease: Lease,
+                     thread_token: Any) -> None:
         space = self.instance.space
         if kind is OperationKind.RDP:
             tup = space.rdp(pattern)
@@ -151,7 +288,8 @@ class QueryServer:
     # Blocking: watch the local space until match / cancel / lease end
     # ------------------------------------------------------------------
     def _serve_blocking(self, origin: str, op_id: str, kind: OperationKind,
-                        pattern: Pattern, lease: Lease, thread_token) -> None:
+                        pattern: Pattern, lease: Lease,
+                        thread_token: Any) -> None:
         serving = Serving(op_id, origin, kind, pattern, lease,
                           thread_token=thread_token)
         self._servings[op_id] = serving
@@ -248,7 +386,13 @@ class QueryServer:
     # ------------------------------------------------------------------
     def handle_cancel(self, origin: str, payload: dict) -> None:
         """Origin withdrew the operation."""
-        serving = self._servings.get(payload["op_id"])
+        op_id = payload["op_id"]
+        if op_id in self._queued_ids:
+            # Withdrawn before a dispatch worker ever picked it up: the
+            # queue entry is tombstoned (skipped at pump time).
+            self._queued_ids.discard(op_id)
+            return
+        serving = self._servings.get(op_id)
         if serving is None:
             return
         self._put_back(serving)
@@ -299,6 +443,8 @@ class QueryServer:
         """Close every serving (instance shutting down): held entries go
         back to the space, leases are returned, worker threads freed, and
         claim timers cancelled — nothing outlives the server."""
+        self._queue.clear()
+        self._queued_ids.clear()
         for serving in list(self._servings.values()):
             self._put_back(serving)
             self._close(serving)

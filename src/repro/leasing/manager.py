@@ -64,6 +64,11 @@ class LeaseManager:
         self.threads = ResourceFactory("threads", thread_capacity)
         self.sockets = ResourceFactory("sockets", socket_capacity)
         self.active: dict[int, Lease] = {}
+        # Extra live pressure signals (0..1) folded into the usage
+        # snapshot policies see — e.g. the query server's bounded inbound
+        # serving queue registers its fullness here, so granting policies
+        # feel inbound congestion the same way they feel storage pressure.
+        self._pressure_signals: list = []
         # statistics
         self.negotiations = 0
         self.grants = 0
@@ -159,6 +164,14 @@ class LeaseManager:
         """Number of currently active leases."""
         return len(self.active)
 
+    def attach_pressure_signal(self, signal) -> None:
+        """Register a live 0..1 pressure callable (e.g. queue fullness).
+
+        The maximum over all registered signals is exposed to granting
+        policies as :attr:`UsageSnapshot.queue_pressure`.
+        """
+        self._pressure_signals.append(signal)
+
     def usage(self) -> UsageSnapshot:
         """A snapshot of current commitment (what policies see)."""
         return self._usage()
@@ -198,11 +211,15 @@ class LeaseManager:
         return self.storage_used + needed <= self.storage_capacity
 
     def _usage(self) -> UsageSnapshot:
+        queue_pressure = 0.0
+        for signal in self._pressure_signals:
+            queue_pressure = max(queue_pressure, signal())
         return UsageSnapshot(
             storage_used=self.storage_used,
             storage_capacity=self.storage_capacity,
             active_leases=len(self.active),
             thread_utilisation=self.threads.utilisation,
+            queue_pressure=queue_pressure,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

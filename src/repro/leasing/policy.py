@@ -29,14 +29,19 @@ from repro.leasing.lease import LeaseTerms
 class UsageSnapshot:
     """What a policy may inspect when deciding an offer."""
 
-    __slots__ = ("storage_used", "storage_capacity", "active_leases", "thread_utilisation")
+    __slots__ = ("storage_used", "storage_capacity", "active_leases",
+                 "thread_utilisation", "queue_pressure")
 
     def __init__(self, storage_used: int = 0, storage_capacity: Optional[int] = None,
-                 active_leases: int = 0, thread_utilisation: float = 0.0) -> None:
+                 active_leases: int = 0, thread_utilisation: float = 0.0,
+                 queue_pressure: float = 0.0) -> None:
         self.storage_used = storage_used
         self.storage_capacity = storage_capacity
         self.active_leases = active_leases
         self.thread_utilisation = thread_utilisation
+        # Fullness (0..1) of the instance's bounded inbound serving queue
+        # (0.0 when the instance serves inline / registers no signal).
+        self.queue_pressure = queue_pressure
 
     @property
     def storage_pressure(self) -> float:
@@ -128,7 +133,8 @@ class AdaptivePolicy(GrantPolicy):
 
     def offer(self, requested: LeaseTerms, operation: str,
               usage: UsageSnapshot) -> Optional[LeaseTerms]:
-        pressure = max(usage.storage_pressure, usage.thread_utilisation)
+        pressure = max(usage.storage_pressure, usage.thread_utilisation,
+                       usage.queue_pressure)
         needed = requested.storage_bytes or 0
         if needed and pressure >= self.refuse_threshold:
             return None

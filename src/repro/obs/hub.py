@@ -236,6 +236,65 @@ class Observability:
                      lambda: [((node,), server.active_servings)],
                      help="Remote operations currently being worked on.",
                      labels=("node",), key=key)
+        # Admission-plane families are registered only for servers that
+        # actually run a serving queue or an admission controller, so
+        # default-off runs export byte-identical snapshots to the
+        # pre-admission registry.
+        queued = getattr(server, "queue_wait_observer", "absent") != "absent"
+        if queued and server.instance.config.serve_cost > 0:
+            reg.callback("serving_queue_depth",
+                         lambda: [((node,), server.queue_depth)],
+                         help="Inbound QUERYs waiting for a dispatch worker.",
+                         labels=("node",), key=("queue", key))
+            wait_hist = reg.histogram(
+                "admission_queue_wait_seconds",
+                help="Realized wait between QUERY arrival and dispatch.",
+                labels=("node",))
+            server.queue_wait_observer = wait_hist.labels(node=node).observe
+        admission = getattr(server, "admission", None)
+        if admission is not None:
+            self.observe_admission(admission, server, node)
+
+    def observe_admission(self, admission, server, node: str) -> None:
+        """Admit/shed accounting for one admission controller."""
+        reg = self.registry
+        key = id(admission)
+
+        def decisions():
+            yield (node, "admitted"), admission.admitted
+            yield (node, "shed"), admission.shed_total
+
+        def sheds():
+            for reason, count in sorted(admission.shed_by_reason.items()):
+                yield (node, reason), count
+
+        reg.callback("admission_decisions_total", decisions,
+                     help="Admission verdicts on arriving QUERYs by node.",
+                     labels=("node", "outcome"), kind="counter", key=key)
+        reg.callback("admission_shed_total", sheds,
+                     help="QUERYs shed at admission, by node and reason.",
+                     labels=("node", "reason"), kind="counter", key=key)
+        reg.callback("admission_stale_dropped_total",
+                     lambda: [((node,), server.stale_dropped)],
+                     help="Queued QUERYs dropped at dispatch because their "
+                          "origin lease had already run out.",
+                     labels=("node",), kind="counter", key=("stale", key))
+        delay_hist = reg.histogram(
+            "admission_queue_delay_seconds",
+            help="Estimated queue delay priced at each admission decision.",
+            labels=("node",))
+        admission.delay_observer = delay_hist.labels(node=node).observe
+        if admission.fair_share is not None:
+            fair = admission.fair_share
+
+            def debts():
+                for peer, debt in fair.debts():
+                    yield (node, peer), debt
+
+            reg.callback("admission_peer_debt", debts,
+                         help="Fair-share token-bucket debt (worker-seconds "
+                              "below full) per origin peer.",
+                         labels=("node", "peer"), key=("debt", key))
 
     def observe_space(self, space, name: str) -> None:
         """Residency + matching-cost accounting for one tuple space."""

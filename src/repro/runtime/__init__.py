@@ -15,9 +15,10 @@ exercising true concurrency.
 """
 
 from repro.runtime.space import ThreadSafeTupleSpace
-from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
+from repro.runtime.node import SHED, ThreadedNodeRegistry, ThreadedTiamatNode
 
 __all__ = [
+    "SHED",
     "ThreadSafeTupleSpace",
     "ThreadedNodeRegistry",
     "ThreadedTiamatNode",

@@ -12,17 +12,46 @@ Destructive remote takes use the same two-phase hold/confirm discipline as
 the simulated protocol, implemented with the store's own ``hold`` under the
 target space's lock, so exactly-once consumption holds under real
 concurrency.
+
+Serving is *admission-controlled*, mirroring the simulated
+:mod:`repro.core.admission` plane: every remote probe enters the target
+node through :meth:`ThreadedTiamatNode.serve_rdp` /
+:meth:`~ThreadedTiamatNode.serve_inp`, which gate on a bounded concurrent
+serving budget (``max_concurrent_serves``).  A saturated node returns the
+:data:`SHED` sentinel instead of scanning its store; origins react with a
+capped exponential per-peer backoff, so overload on one node does not turn
+every visible peer's poll loop into a thundering herd.  The default budget
+is ``None`` (unbounded), which preserves the uncontrolled behaviour.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Optional
+from typing import Optional, Union
 
 from repro.obs import Observability
 from repro.runtime.space import ThreadSafeTupleSpace
 from repro.tuples.model import Pattern, Tuple
+
+
+class _ShedType:
+    """Sentinel type for :data:`SHED` (falsy, unique, self-describing)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "SHED"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Returned by ``serve_rdp``/``serve_inp`` when the node sheds the probe
+#: instead of serving it (concurrent serving budget exhausted).  Falsy, so
+#: callers that only distinguish "got a tuple or not" keep working; callers
+#: that care (the origin poll loops here) check identity and back off.
+SHED = _ShedType()
 
 
 class ThreadedNodeRegistry:
@@ -71,17 +100,31 @@ class ThreadedTiamatNode:
 
     #: How often blocking operations re-sample visibility and re-probe.
     POLL_INTERVAL = 0.005
+    #: Cap on the per-peer backoff an origin applies after being shed.
+    SHED_BACKOFF_MAX = 0.25
 
-    def __init__(self, registry: ThreadedNodeRegistry, name: str) -> None:
+    def __init__(self, registry: ThreadedNodeRegistry, name: str, *,
+                 max_concurrent_serves: Optional[int] = None) -> None:
+        if max_concurrent_serves is not None and max_concurrent_serves < 1:
+            raise ValueError("max_concurrent_serves must be >= 1 or None")
         self.registry = registry
         self.name = name
         self.space = ThreadSafeTupleSpace(name)
+        self.max_concurrent_serves = max_concurrent_serves
+        self._serve_lock = threading.Lock()
+        self._active_serves = 0
+        # peer name -> (shed streak, monotonic time before which we skip it)
+        self._peer_backoff: dict[str, tuple[int, float]] = {}
         registry.register(self)
         reg = registry.obs.registry
         self._ops_metric = reg.counter(
             "runtime_ops_total",
             help="Logical operations by node, operation, and outcome.",
             labels=("node", "op", "outcome"))
+        self._serve_metric = reg.counter(
+            "runtime_serve_total",
+            help="Remote probes served or shed by each node.",
+            labels=("node", "outcome"))
         self._wait_hist = reg.histogram(
             "runtime_blocking_wait_seconds",
             help="Wall-clock wait of blocking rd/in operations.",
@@ -104,6 +147,79 @@ class ThreadedTiamatNode:
         self._ops_metric.labels(node=self.name, op=op, outcome=outcome).inc()
 
     # ------------------------------------------------------------------
+    # Serving plane: how *peers* enter this node
+    # ------------------------------------------------------------------
+    def _admit_serve(self) -> bool:
+        with self._serve_lock:
+            if (self.max_concurrent_serves is not None
+                    and self._active_serves >= self.max_concurrent_serves):
+                return False
+            self._active_serves += 1
+        return True
+
+    def _release_serve(self) -> None:
+        with self._serve_lock:
+            self._active_serves -= 1
+
+    @property
+    def active_serves(self) -> int:
+        """Remote probes currently being served by this node."""
+        return self._active_serves
+
+    def serve_rdp(self, pattern: Pattern) -> Union[Optional[Tuple], _ShedType]:
+        """Serve a peer's non-destructive probe, or :data:`SHED` it.
+
+        This is the only sanctioned path for a remote read: it gates on the
+        concurrent serving budget before touching the store, mirroring the
+        simulated admission plane's "refuse before any work" rule.
+        """
+        if not self._admit_serve():
+            self._serve_metric.labels(node=self.name, outcome="shed").inc()
+            return SHED
+        try:
+            found = self.space.rdp(pattern)
+        finally:
+            self._release_serve()
+        self._serve_metric.labels(node=self.name, outcome="served").inc()
+        return found
+
+    def serve_inp(self, pattern: Pattern) -> Union[Optional[Tuple], _ShedType]:
+        """Serve a peer's destructive probe, or :data:`SHED` it."""
+        if not self._admit_serve():
+            self._serve_metric.labels(node=self.name, outcome="shed").inc()
+            return SHED
+        try:
+            taken = self.space.inp(pattern)
+        finally:
+            self._release_serve()
+        self._serve_metric.labels(node=self.name, outcome="served").inc()
+        return taken
+
+    def _peer_probe(self, peer: "ThreadedTiamatNode", pattern: Pattern,
+                    remove: bool) -> Optional[Tuple]:
+        """Probe one peer through its serving gate, honouring backoff.
+
+        A shed answer is treated as a miss and starts (or extends) a capped
+        exponential backoff window for that peer; a served answer clears
+        the window.  Backoff windows only suppress *probes of that peer* —
+        the local space and other peers are unaffected.
+        """
+        now = time.monotonic()
+        streak, until = self._peer_backoff.get(peer.name, (0, 0.0))
+        if now < until:
+            return None
+        result = peer.serve_inp(pattern) if remove else peer.serve_rdp(pattern)
+        if result is SHED:
+            streak += 1
+            delay = min(self.POLL_INTERVAL * (2.0 ** streak),
+                        self.SHED_BACKOFF_MAX)
+            self._peer_backoff[peer.name] = (streak, now + delay)
+            return None
+        if streak:
+            self._peer_backoff.pop(peer.name, None)
+        return result
+
+    # ------------------------------------------------------------------
     # The six operations
     # ------------------------------------------------------------------
     def out(self, tup: Tuple, lease_duration: Optional[float] = None) -> None:
@@ -118,7 +234,7 @@ class ThreadedTiamatNode:
             self._count("rdp", "hit")
             return local
         for peer in self.registry.visible_nodes(self.name):
-            found = peer.space.rdp(pattern)
+            found = self._peer_probe(peer, pattern, remove=False)
             if found is not None:
                 self._count("rdp", "hit")
                 return found
@@ -132,7 +248,7 @@ class ThreadedTiamatNode:
             self._count("inp", "hit")
             return local
         for peer in self.registry.visible_nodes(self.name):
-            taken = peer.space.inp(pattern)
+            taken = self._peer_probe(peer, pattern, remove=True)
             if taken is not None:
                 self._count("inp", "hit")
                 return taken
@@ -181,10 +297,11 @@ class ThreadedTiamatNode:
                      else self.space.rd(pattern, timeout=self.POLL_INTERVAL))
             if local is not None:
                 return local
-            # Then the currently visible peers (opportunistic re-sample).
+            # Then the currently visible peers (opportunistic re-sample),
+            # through their serving gates so a saturated peer sheds us
+            # into a per-peer backoff instead of being hammered.
             for peer in self.registry.visible_nodes(self.name):
-                found = (peer.space.inp(pattern) if remove
-                         else peer.space.rdp(pattern))
+                found = self._peer_probe(peer, pattern, remove=remove)
                 if found is not None:
                     return found
             if time.monotonic() >= deadline:

@@ -1,0 +1,200 @@
+"""Pin the redesigned public API surface (PR 4).
+
+Three kinds of guarantees:
+
+* **exports** — every package's ``__all__`` is pinned exactly; adding or
+  removing a name is a deliberate, reviewed act that edits this file;
+* **shape** — the blessed constructors are keyword-only for their
+  optional arguments (inspected, not just documented), and
+  :func:`repro.create_instance` is the one-call entry point;
+* **compatibility** — the legacy positional call forms still work, but
+  only under :class:`DeprecationWarning`.
+
+Run in CI as its own step (see ``.github/workflows/ci.yml``).
+"""
+
+import inspect
+import warnings
+
+import pytest
+
+import repro
+import repro.core
+import repro.leasing
+import repro.net
+import repro.obs
+import repro.runtime
+import repro.sim
+import repro.tuples
+
+# ---------------------------------------------------------------------------
+# 1. Exported names, pinned exactly.
+# ---------------------------------------------------------------------------
+EXPECTED_TOP_LEVEL = {
+    "ANY", "AdmissionController", "Formal", "LeaseTerms", "Network",
+    "Pattern", "Range", "Refusal", "SimpleLeaseRequester", "Simulator",
+    "SpaceHandle", "TiamatConfig", "TiamatInstance", "Tuple",
+    "UnavailablePolicy", "VisibilityGraph", "__version__",
+    "create_instance",
+}
+
+EXPECTED_CORE = {
+    "ALL_REFUSAL_REASONS", "AdmissionController", "AdmissionDecision",
+    "AppMonitor", "CommsManager", "ConflictResolver", "EvalTask",
+    "FairShare", "LeaseTuner", "Operation", "QueryServer", "Refusal",
+    "ReliableChannel", "RtsMonitor", "RandomRelayRouter", "Router",
+    "SPACE_INFO_PATTERN", "SPACE_INFO_TAG", "SocialRouter", "SpaceHandle",
+    "TiamatConfig", "TiamatInstance", "UnavailablePolicy", "parse_refusal",
+}
+
+EXPECTED_RUNTIME = {
+    "SHED", "ThreadSafeTupleSpace", "ThreadedNodeRegistry",
+    "ThreadedTiamatNode",
+}
+
+EXPECTED_SIM = {
+    "AllOf", "AnyOf", "Event", "Gate", "Process", "SimResource",
+    "SimStore", "RngStream", "Simulator", "Timeout", "Timer",
+}
+
+EXPECTED_TUPLES = {
+    "ANY", "Actual", "Field", "Formal", "LocalTupleSpace", "Pattern",
+    "Range", "StoredEntry", "Tuple", "TupleStore", "Waiter",
+    "decode_pattern", "decode_tuple", "encode_pattern", "encode_tuple",
+    "encoded_size", "load_space", "matches", "restore_space",
+    "save_space", "snapshot_space",
+}
+
+EXPECTED_LEASING = {
+    "AcceptAnythingRequester", "AdaptivePolicy", "ConservativePolicy",
+    "DenyAllPolicy", "GenerousPolicy", "GrantPolicy", "Lease",
+    "LeaseManager", "LeaseRequester", "LeaseState", "LeaseTerms",
+    "OperationKind", "ResourceFactory", "ResourceToken",
+    "SimpleLeaseRequester",
+}
+
+EXPECTED_NET = {
+    "ChurnInjector", "CorruptPayload", "CrashRestartInjector",
+    "DuplicateFrames", "FaultInjector", "FaultPlan", "GilbertElliottLoss",
+    "MultiHopVisibilityDriver", "OneWayLink", "ProtocolTrace",
+    "RandomLoss", "ReorderFrames", "TraceEntry", "Message", "Network",
+    "NetworkInterface", "NetworkStats", "NodeStats", "Position",
+    "RandomWaypointMobility", "RangeVisibilityDriver", "StaticPlacement",
+    "VisibilityGraph", "WaypointTrace",
+}
+
+EXPECTED_OBS = {
+    "Counter", "DEFAULT_COUNT_BUCKETS", "DEFAULT_TIME_BUCKETS", "Gauge",
+    "Histogram", "MetricFamily", "MetricsRegistry", "Observability",
+    "TraceEvent", "Tracer",
+}
+
+
+@pytest.mark.parametrize("module, expected", [
+    (repro, EXPECTED_TOP_LEVEL),
+    (repro.core, EXPECTED_CORE),
+    (repro.runtime, EXPECTED_RUNTIME),
+    (repro.sim, EXPECTED_SIM),
+    (repro.tuples, EXPECTED_TUPLES),
+    (repro.leasing, EXPECTED_LEASING),
+    (repro.net, EXPECTED_NET),
+    (repro.obs, EXPECTED_OBS),
+], ids=lambda m: getattr(m, "__name__", None) or "expected")
+def test_all_is_pinned(module, expected):
+    assert set(module.__all__) == expected
+    # __all__ must not promise names the module cannot deliver.
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_all_lists_are_sorted():
+    for module in (repro, repro.core):
+        assert list(module.__all__) == sorted(module.__all__), module
+
+
+# ---------------------------------------------------------------------------
+# 2. Constructor shape: optionals are keyword-only in the blessed form.
+# ---------------------------------------------------------------------------
+def _keyword_only_names(func):
+    return {p.name for p in inspect.signature(func).parameters.values()
+            if p.kind is inspect.Parameter.KEYWORD_ONLY}
+
+
+def test_instance_ctor_optionals_are_keyword_only():
+    kw = _keyword_only_names(repro.TiamatInstance.__init__)
+    assert {"policy", "config", "storage_capacity", "thread_capacity",
+            "router", "space"} <= kw
+
+
+def test_network_ctor_optionals_are_keyword_only():
+    kw = _keyword_only_names(repro.Network.__init__)
+    assert {"visibility", "loss_rate", "latency_factory", "codec",
+            "batching"} <= kw
+
+
+def test_create_instance_is_the_front_door():
+    sig = inspect.signature(repro.create_instance)
+    params = list(sig.parameters.values())
+    assert [p.name for p in params[:3]] == ["sim", "network", "name"]
+    assert params[3].name == "config"
+    assert params[3].kind is inspect.Parameter.KEYWORD_ONLY
+
+    sim = repro.Simulator(seed=3)
+    net = repro.Network(sim)
+    inst = repro.create_instance(sim, net, "n0",
+                                 config=repro.TiamatConfig())
+    assert isinstance(inst, repro.TiamatInstance)
+    assert inst.name == "n0"
+
+
+def test_version_is_pep440ish():
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts[:2])
+
+
+# ---------------------------------------------------------------------------
+# 3. Compatibility: legacy positional calls work, but warn.
+# ---------------------------------------------------------------------------
+def test_legacy_positional_instance_ctor_warns_and_works():
+    sim = repro.Simulator(seed=3)
+    net = repro.Network(sim)
+    with pytest.warns(DeprecationWarning, match="positionally is deprecated"):
+        inst = repro.TiamatInstance(sim, net, "legacy", None,
+                                    repro.TiamatConfig(relay_ttl=5))
+    assert inst.config.relay_ttl == 5
+
+
+def test_legacy_positional_network_ctor_warns_and_works():
+    sim = repro.Simulator(seed=3)
+    vis = repro.VisibilityGraph()
+    with pytest.warns(DeprecationWarning, match="positionally is deprecated"):
+        net = repro.Network(sim, vis, 0.25)
+    assert net.visibility is vis
+    assert net.loss_rate == 0.25
+
+
+def test_positional_and_keyword_duplicate_is_an_error():
+    sim = repro.Simulator(seed=3)
+    with pytest.raises(TypeError):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            repro.Network(sim, repro.VisibilityGraph(),
+                          visibility=repro.VisibilityGraph())
+
+
+def test_excess_positional_arguments_are_an_error():
+    sim = repro.Simulator(seed=3)
+    with pytest.raises(TypeError):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            repro.Network(sim, None, 0.0, None, None, False, "extra")
+
+
+def test_keyword_form_does_not_warn():
+    sim = repro.Simulator(seed=3)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        net = repro.Network(sim, loss_rate=0.0)
+        repro.TiamatInstance(sim, net, "quiet",
+                             config=repro.TiamatConfig())
