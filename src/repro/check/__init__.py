@@ -1,0 +1,69 @@
+"""Deterministic protocol model checker and differential conformance harness.
+
+``repro.check`` drives the deterministic sim kernel through many seeded
+schedules — randomized same-instant tiebreaks, fault-plan perturbations,
+visibility churn — while passive invariant oracles watch every run:
+
+* exactly-once consumption per tuple (no double-``in``);
+* no ghost reads after remove;
+* lease-accounting conservation (granted ⊇ active ∪ expired ∪ revoked);
+* admission-refusal vocabulary closure;
+* reliability no-duplicate dispatch for critical frames.
+
+On a violation it *shrinks*: bisects the schedule to a minimal reproducing
+event prefix and emits a replayable :class:`~repro.check.shrink.CheckReport`.
+A second front (:mod:`repro.check.differential`) drives the same scripted
+workloads through both the sim and threaded runtimes and diffs observable
+outcomes.
+
+Import discipline
+-----------------
+Hot-path modules (store, space, serving, leasing, …) import only
+:mod:`repro.check.probes`, which is dependency-free.  Everything else in
+this package is **lazy-loaded** via module ``__getattr__`` so the probe
+import never drags the checker machinery (and its ``repro.core`` imports)
+into production paths — no import cycle, no startup cost.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from repro.check import probes  # dependency-free; safe to load eagerly
+
+__all__ = [
+    "probes",
+    "oracles",
+    "explorer",
+    "shrink",
+    "differential",
+    "InvariantMonitor",
+    "Violation",
+    "Explorer",
+    "ExploreResult",
+    "CheckReport",
+    "shrink_violation",
+    "run_differential",
+]
+
+_LAZY_MODULES = {"oracles", "explorer", "shrink", "differential"}
+_LAZY_ATTRS = {
+    "InvariantMonitor": ("repro.check.oracles", "InvariantMonitor"),
+    "Violation": ("repro.check.oracles", "Violation"),
+    "Explorer": ("repro.check.explorer", "Explorer"),
+    "ExploreResult": ("repro.check.explorer", "ExploreResult"),
+    "CheckReport": ("repro.check.shrink", "CheckReport"),
+    "shrink_violation": ("repro.check.shrink", "shrink_violation"),
+    "run_differential": ("repro.check.differential", "run_differential"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_MODULES:
+        return importlib.import_module(f"repro.check.{name}")
+    target = _LAZY_ATTRS.get(name)
+    if target is not None:
+        module = importlib.import_module(target[0])
+        return getattr(module, target[1])
+    raise AttributeError(f"module 'repro.check' has no attribute {name!r}")

@@ -1,0 +1,287 @@
+"""Differential conformance: the sim and threaded runtimes must agree.
+
+The repository's central claim about its two execution substrates is that
+they implement the *same* logical-tuple-space semantics: the deterministic
+simulation (``repro.core`` over ``repro.sim``) and the threaded runtime
+(``repro.runtime`` over real locks and threads).  This module makes the
+claim testable: one seeded :class:`ScriptedWorkload` — a sequential program
+of ``out``/``in``/``rd``/``inp``/``rdp``/``eval`` steps over a small clique
+of nodes — is driven through **both** runtimes, and the observable outcomes
+are diffed:
+
+* the multiset of tuples destructively consumed (with the op and outcome
+  of every step), and
+* the final store contents of every node.
+
+Workloads are constructed so agreement is *required*, not probabilistic:
+
+* every deposited tuple is unique (no ambiguity about which copy a
+  destructive take removes);
+* destructive and read steps use fully-ground (all-actual) patterns
+  naming one specific live tuple, so non-deterministic match selection
+  never picks differently between runtimes;
+* steps run strictly sequentially — each completes before the next
+  starts — so there are no cross-step races to resolve;
+* deposits use leases far longer than the run, so nothing expires.
+
+Any divergence is therefore a genuine semantic difference between the two
+runtimes, reported step-by-step in :class:`DifferentialResult`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.rng import RngStream
+from repro.tuples.model import Pattern, Tuple
+
+#: First field of every workload tuple, so final-store comparison can
+#: ignore any infrastructure tuples a runtime might keep in its spaces.
+WORKLOAD_TAG = "wl"
+EVAL_TAG = "wl_evald"
+_NODES = ("n0", "n1", "n2")
+_LONG_LEASE = 3600.0
+
+
+def _eval_square(x: int) -> Tuple:
+    """The workload's eval body (top-level so both runtimes can run it)."""
+    return Tuple(EVAL_TAG, x, x * x)
+
+
+class Step:
+    """One scripted workload step."""
+
+    __slots__ = ("kind", "node", "tup")
+
+    def __init__(self, kind: str, node: str, tup: Tuple) -> None:
+        self.kind = kind    # out | inp | in | rdp | rd | eval
+        self.node = node
+        self.tup = tup      # the deposited or targeted tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Step {self.kind} @{self.node} {self.tup!r}>"
+
+
+class ScriptedWorkload:
+    """A seeded, runtime-agnostic sequential workload."""
+
+    def __init__(self, seed: int, steps: int = 40,
+                 nodes: tuple = _NODES) -> None:
+        self.seed = seed
+        self.nodes = nodes
+        self.steps: List[Step] = []
+        rng = RngStream(seed, name="differential")
+        alive: List[Tuple] = []
+        counter = 0
+        eval_counter = 0
+        for _ in range(steps):
+            roll = rng.random()
+            node = rng.choice(list(nodes))
+            if roll < 0.40 or not alive:
+                tup = Tuple(WORKLOAD_TAG, counter, f"s{seed}")
+                counter += 1
+                self.steps.append(Step("out", node, tup))
+                alive.append(tup)
+            elif roll < 0.55:
+                tup = rng.choice(alive)
+                alive.remove(tup)
+                self.steps.append(Step("inp", node, tup))
+            elif roll < 0.70:
+                tup = rng.choice(alive)
+                alive.remove(tup)
+                self.steps.append(Step("in", node, tup))
+            elif roll < 0.80:
+                self.steps.append(Step("rdp", node, rng.choice(alive)))
+            elif roll < 0.90:
+                self.steps.append(Step("rd", node, rng.choice(alive)))
+            else:
+                tup = Tuple(EVAL_TAG, eval_counter,
+                            eval_counter * eval_counter)
+                eval_counter += 1
+                self.steps.append(Step("eval", node, tup))
+
+
+class RuntimeTranscript:
+    """What one runtime observably did with the workload."""
+
+    def __init__(self, runtime: str) -> None:
+        self.runtime = runtime
+        #: (step index, kind, node, consumed tuple) per destructive step.
+        self.consumed: List[tuple] = []
+        #: (step index, kind, node, observed tuple) per read step.
+        self.observed: List[tuple] = []
+        #: node -> sorted list of workload tuples left in its store.
+        self.final: dict = {}
+
+    def consumed_multiset(self) -> dict:
+        counts: dict = {}
+        for _, _, _, tup in self.consumed:
+            counts[tup] = counts.get(tup, 0) + 1
+        return counts
+
+
+def _is_workload_tuple(tup: Tuple) -> bool:
+    first = tup.fields[0]
+    return first in (WORKLOAD_TAG, EVAL_TAG)
+
+
+def _final_snapshot(snapshots: dict) -> dict:
+    return {
+        node: sorted((t for t in tuples if _is_workload_tuple(t)),
+                     key=repr)
+        for node, tuples in snapshots.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def run_sim(workload: ScriptedWorkload) -> RuntimeTranscript:
+    """Drive the workload through the deterministic simulation."""
+    from repro.core.instance import TiamatInstance
+    from repro.leasing import LeaseTerms, SimpleLeaseRequester
+    from repro.net.network import Network, default_latency
+    from repro.net.visibility import VisibilityGraph
+    from repro.sim.kernel import Simulator
+
+    transcript = RuntimeTranscript("sim")
+    sim = Simulator(seed=workload.seed)
+    vis = VisibilityGraph()
+    net = Network(sim, visibility=vis,
+                  latency_factory=default_latency(per_byte=0.0))
+    insts = {name: TiamatInstance(sim, net, name)
+             for name in workload.nodes}
+    vis.connect_clique(workload.nodes)
+    requester = SimpleLeaseRequester(LeaseTerms(duration=_LONG_LEASE))
+    errors: List[str] = []
+
+    def driver():
+        for index, step in enumerate(workload.steps):
+            inst = insts[step.node]
+            if step.kind == "out":
+                inst.out(step.tup, requester=requester)
+                continue
+            if step.kind == "eval":
+                task = inst.eval(_eval_square, step.tup.fields[1],
+                                 requester=requester)
+                result = yield task.event
+                if result != step.tup:
+                    errors.append(f"step {index}: eval produced {result!r}, "
+                                  f"expected {step.tup!r}")
+                continue
+            pattern = Pattern.for_tuple(step.tup)
+            op = getattr(inst, "in_" if step.kind == "in" else step.kind)(
+                pattern, requester=requester)
+            result = yield op.event
+            if step.kind in ("inp", "in"):
+                transcript.consumed.append(
+                    (index, step.kind, step.node, result))
+            else:
+                transcript.observed.append(
+                    (index, step.kind, step.node, result))
+            if result != step.tup:
+                errors.append(f"step {index}: {step.kind} @{step.node} got "
+                              f"{result!r}, expected {step.tup!r}")
+
+    sim.spawn(driver())
+    sim.run(until=120.0)
+    if errors:
+        raise AssertionError("sim driver mismatches: " + "; ".join(errors))
+    transcript.final = _final_snapshot(
+        {name: inst.space.snapshot() for name, inst in insts.items()})
+    return transcript
+
+
+def run_threaded(workload: ScriptedWorkload,
+                 timeout: float = 10.0) -> RuntimeTranscript:
+    """Drive the workload through the threaded runtime (real threads)."""
+    from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
+
+    transcript = RuntimeTranscript("threaded")
+    registry = ThreadedNodeRegistry()
+    nodes = {name: ThreadedTiamatNode(registry, name)
+             for name in workload.nodes}
+    names = list(workload.nodes)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            registry.set_visible(a, b, True)
+    errors: List[str] = []
+    for index, step in enumerate(workload.steps):
+        node = nodes[step.node]
+        if step.kind == "out":
+            node.out(step.tup, lease_duration=_LONG_LEASE)
+            continue
+        if step.kind == "eval":
+            thread = node.eval(_eval_square, step.tup.fields[1],
+                               lease_duration=_LONG_LEASE)
+            thread.join(timeout)
+            if thread.is_alive():
+                errors.append(f"step {index}: eval did not finish")
+            continue
+        pattern = Pattern.for_tuple(step.tup)
+        if step.kind in ("in", "rd"):
+            result = getattr(node, "in_" if step.kind == "in" else "rd")(
+                pattern, timeout=timeout)
+        else:
+            result = getattr(node, step.kind)(pattern)
+        if step.kind in ("inp", "in"):
+            transcript.consumed.append((index, step.kind, step.node, result))
+        else:
+            transcript.observed.append((index, step.kind, step.node, result))
+        if result != step.tup:
+            errors.append(f"step {index}: {step.kind} @{step.node} got "
+                          f"{result!r}, expected {step.tup!r}")
+    if errors:
+        raise AssertionError("threaded driver mismatches: "
+                             + "; ".join(errors))
+    transcript.final = _final_snapshot(
+        {name: node.space.snapshot() for name, node in nodes.items()})
+    return transcript
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+class DifferentialResult:
+    """Outcome of one sim-vs-threaded conformance run."""
+
+    def __init__(self, seed: int, sim: RuntimeTranscript,
+                 threaded: RuntimeTranscript) -> None:
+        self.seed = seed
+        self.sim = sim
+        self.threaded = threaded
+        self.mismatches: List[str] = []
+        self._diff()
+
+    def _diff(self) -> None:
+        if self.sim.consumed_multiset() != self.threaded.consumed_multiset():
+            self.mismatches.append(
+                f"consumed multisets differ: sim={self.sim.consumed_multiset()} "
+                f"threaded={self.threaded.consumed_multiset()}")
+        if self.sim.consumed != self.threaded.consumed:
+            self.mismatches.append("per-step consumption transcripts differ")
+        if self.sim.observed != self.threaded.observed:
+            self.mismatches.append("per-step read transcripts differ")
+        if self.sim.final != self.threaded.final:
+            self.mismatches.append(
+                f"final store contents differ: sim={self.sim.final} "
+                f"threaded={self.threaded.final}")
+
+    @property
+    def agree(self) -> bool:
+        return not self.mismatches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        verdict = "agree" if self.agree else f"{len(self.mismatches)} diffs"
+        return f"<DifferentialResult seed={self.seed} {verdict}>"
+
+
+def run_differential(seed: int, steps: int = 40,
+                     workload: Optional[ScriptedWorkload] = None) -> DifferentialResult:
+    """Run one scripted workload through both runtimes and diff."""
+    workload = workload if workload is not None else ScriptedWorkload(
+        seed, steps=steps)
+    sim_transcript = run_sim(workload)
+    threaded_transcript = run_threaded(workload)
+    return DifferentialResult(workload.seed, sim_transcript,
+                              threaded_transcript)

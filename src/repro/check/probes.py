@@ -1,0 +1,81 @@
+"""Passive oracle probe points: the checker's window into the protocol.
+
+Core modules (store, space, leasing, serving, ops, reliability, admission)
+call :func:`emit` at semantically meaningful moments — a tuple is consumed,
+a lease is granted or ends, a reliable frame is dispatched, a refusal goes
+out.  With no sink installed (the default, and the production
+configuration) every probe site reduces to **one module-attribute load and
+a falsy check** — no allocation, no RNG draws, no branches that alter
+behaviour — so seeded experiments are bit-identical with checking off (see
+``tests/test_check_oracles.py::test_probes_are_observationally_passive``).
+
+The model checker (:mod:`repro.check.oracles`) installs an
+:class:`~repro.check.oracles.InvariantMonitor` as the sink for the duration
+of a run.  Exactly one sink can be active at a time; :func:`install` is a
+context-manager-friendly pair with :func:`uninstall`.
+
+This module is deliberately dependency-free (it imports nothing from
+``repro``) so the hot-path modules that import it never pull the checker
+machinery — ``repro/check/__init__.py`` lazy-loads everything else.
+
+Mutation canaries
+-----------------
+The same module owns the ``REPRO_CHECK_CANARY`` environment toggle: three
+intentionally planted bugs (``ghost``, ``double_take``, ``lease_leak``)
+that core modules consult *at object construction time* via
+:func:`canary`.  They exist purely to prove the oracles are not vacuous —
+``tests/test_check_canaries.py`` asserts the checker detects each one and
+shrinks it to a short reproducing prefix.  With the variable unset (always,
+outside that test) the guards are constant-``False`` attributes checked on
+cold paths only.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Optional
+
+#: The active probe sink: ``fn(event_name, fields_dict)`` or ``None``.
+#: Probe sites must guard with ``if probes.SINK is not None`` (or call
+#: :func:`emit`, which does the same check).
+SINK: Optional[Callable[[str, Dict[str, Any]], None]] = None
+
+#: Names of the three planted bugs (values of ``REPRO_CHECK_CANARY``).
+CANARY_GHOST = "ghost"
+CANARY_DOUBLE_TAKE = "double_take"
+CANARY_LEASE_LEAK = "lease_leak"
+ALL_CANARIES = (CANARY_GHOST, CANARY_DOUBLE_TAKE, CANARY_LEASE_LEAK)
+
+
+def emit(event: str, **fields: Any) -> None:
+    """Report one probe event to the active sink (no-op without one)."""
+    if SINK is not None:
+        SINK(event, fields)
+
+
+def install(sink: Callable[[str, Dict[str, Any]], None]) -> None:
+    """Install ``sink`` as the active probe consumer.
+
+    Raises ``RuntimeError`` if a sink is already active — overlapping
+    checkers would corrupt each other's shadow state.
+    """
+    global SINK
+    if SINK is not None:
+        raise RuntimeError("a probe sink is already installed")
+    SINK = sink
+
+
+def uninstall() -> None:
+    """Remove the active sink (idempotent)."""
+    global SINK
+    SINK = None
+
+
+def canary(name: str) -> bool:
+    """Whether the named planted bug is switched on via the environment.
+
+    Read at *object construction time* by the host modules, so a test can
+    set ``REPRO_CHECK_CANARY`` before building a scenario and unset it
+    afterwards without leaking into other tests.
+    """
+    return os.environ.get("REPRO_CHECK_CANARY", "") == name

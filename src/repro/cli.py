@@ -300,6 +300,72 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Schedule-exploration model checking (repro.check)."""
+    from repro.check.explorer import Explorer, Perturbations, TEMPLATES
+    from repro.check.shrink import CheckReport
+
+    if args.replay:
+        report = CheckReport.from_json(args.replay)
+        outcome = report.replay(trace=True)
+        print(f"replayed {report.template} seed={report.seed} "
+              f"max_events={report.min_events}")
+        print(f"schedule hash: {outcome.schedule_hash}")
+        if outcome.schedule_hash != report.schedule_hash:
+            print("WARNING: schedule hash diverged from the report "
+                  "(code changed since it was captured?)")
+        if outcome.clean:
+            print("no violation reproduced")
+            return 1
+        violation = outcome.first_violation
+        print(f"violation reproduced: {violation.oracle} @event "
+              f"{violation.event_index}: {violation.detail}")
+        return 0
+
+    if args.nightly:
+        schedules, label = args.schedules or 10_000, "nightly"
+    elif args.smoke:
+        schedules, label = args.schedules or 240, "smoke"
+    else:
+        schedules, label = args.schedules or 240, "custom"
+    templates = (args.templates.split(",") if args.templates
+                 else sorted(TEMPLATES))
+    explorer = Explorer(templates=templates, perturb=Perturbations())
+    progress = None
+    if not args.quiet:
+        every = max(1, schedules // 20)
+
+        def progress(done, total):
+            if done % every == 0 or done == total:
+                print(f"  explored {done}/{total} schedules", flush=True)
+
+    print(f"repro check [{label}]: {schedules} schedules over "
+          f"{len(templates)} templates {templates} (seed base {args.seed})")
+    result = explorer.run(schedules=schedules, seed_base=args.seed,
+                          progress=progress)
+    print(result.summary())
+    for report in result.reports:
+        print()
+        print(report.render())
+    return 0 if result.clean else 1
+
+
+def cmd_differential(args: argparse.Namespace) -> int:
+    """Sim vs threaded runtime conformance over scripted workloads."""
+    from repro.check.differential import run_differential
+
+    failures = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        result = run_differential(seed, steps=args.steps)
+        verdict = "agree" if result.agree else "DIVERGE"
+        print(f"seed {seed}: {verdict} "
+              f"(consumed {len(result.sim.consumed)} tuples)")
+        for mismatch in result.mismatches:
+            failures += 1
+            print(f"  {mismatch}")
+    return 0 if failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -353,6 +419,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output format (default prom)")
     stats.add_argument("--profile", action="store_true",
                        help="enable the kernel's per-handler profiler")
+
+    check = sub.add_parser(
+        "check",
+        help="schedule-exploration model checker (invariant oracles)")
+    mode = check.add_mutually_exclusive_group()
+    mode.add_argument("--smoke", action="store_true",
+                      help="CI tier-1 budget (240 schedules)")
+    mode.add_argument("--nightly", action="store_true",
+                      help="nightly budget (10000 schedules)")
+    check.add_argument("--schedules", type=int, default=None,
+                       help="override the schedule budget")
+    check.add_argument("--templates", default=None,
+                       help="comma-separated scenario templates "
+                            "(default: all)")
+    check.add_argument("--replay", default=None, metavar="REPORT_JSON",
+                       help="replay a CheckReport JSON blob instead of "
+                            "exploring")
+    check.add_argument("--quiet", action="store_true",
+                       help="suppress progress lines")
+
+    differential = sub.add_parser(
+        "differential",
+        help="sim vs threaded runtime conformance (scripted workloads)")
+    differential.add_argument("--seeds", type=int, default=5,
+                              help="number of seeds to run (default 5)")
+    differential.add_argument("--steps", type=int, default=40,
+                              help="workload steps per seed (default 40)")
     return parser
 
 
@@ -365,6 +458,8 @@ _COMMANDS = {
     "overload": cmd_overload,
     "stats": cmd_stats,
     "perf": cmd_perf,
+    "check": cmd_check,
+    "differential": cmd_differential,
 }
 
 

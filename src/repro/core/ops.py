@@ -28,6 +28,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.check import probes
 from repro.core import protocol
 from repro.core.admission import Refusal, parse_refusal
 from repro.leasing import Lease, OperationKind
@@ -121,6 +122,10 @@ class Operation:
         self.done = True
         self.result = result
         self.source = source
+        if probes.SINK is not None:
+            probes.emit("op.finished", op_id=self.op_id, node=self.instance.name,
+                        kind=self.kind.value, satisfied=result is not None,
+                        source=source, tup=result)
         if self._local_waiter is not None:
             self._local_waiter.cancel()
             self._local_waiter = None

@@ -46,6 +46,7 @@ import itertools
 from collections import deque
 from typing import Optional
 
+from repro.check import probes
 from repro.core import protocol
 
 _epochs = itertools.count(1)
@@ -257,6 +258,9 @@ class ReliableChannel:
                 del epochs[oldest]
             window = epochs[epoch] = _PeerWindow(self.config.dedup_window)
         if window.check_and_add(seq):
+            if probes.SINK is not None:
+                probes.emit("rel.dispatch", src=peer,
+                            dst=self.instance.name, epoch=epoch, seq=seq)
             return True
         self.duplicates_dropped += 1
         return False

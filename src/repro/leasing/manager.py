@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.check import probes
 from repro.errors import LeaseRefusedError, LeaseRejectedByRequesterError
 from repro.leasing.lease import Lease, LeaseState, LeaseTerms
 from repro.leasing.policy import GrantPolicy, GenerousPolicy, UsageSnapshot
@@ -63,6 +64,12 @@ class LeaseManager:
         self.storage_used = 0
         self.threads = ResourceFactory("threads", thread_capacity)
         self.sockets = ResourceFactory("sockets", socket_capacity)
+        # Planted bug for oracle validation (tests only): with the
+        # `lease_leak` canary on, ended leases are never removed from the
+        # active table — the lease-conservation oracle must notice that
+        # ``active`` contains non-ACTIVE leases.  Read once at construction
+        # (see repro.check.probes).
+        self._canary_lease_leak = probes.canary(probes.CANARY_LEASE_LEAK)
         self.active: dict[int, Lease] = {}
         # Extra live pressure signals (0..1) folded into the usage
         # snapshot policies see — e.g. the query server's bounded inbound
@@ -184,6 +191,10 @@ class LeaseManager:
         lease = Lease(self, terms, self.sim.now, operation.value)
         self.active[lease.lease_id] = lease
         self.grants += 1
+        if probes.SINK is not None:
+            probes.emit("lease.granted", manager=id(self),
+                        lease=lease.lease_id, op=operation.value,
+                        active_count=len(self.active))
         committed = storage_needed if operation.is_deposit else 0
         if committed:
             self.storage_used += committed
@@ -193,9 +204,16 @@ class LeaseManager:
         return lease
 
     def _on_lease_end(self, lease: Lease, state: LeaseState, committed: int) -> None:
-        self.active.pop(lease.lease_id, None)
+        if not self._canary_lease_leak:
+            self.active.pop(lease.lease_id, None)
+        # (planted bug: with the canary on, the ended lease stays in the
+        # active table forever — conservation is violated.)
         if committed:
             self.storage_used -= committed
+        if probes.SINK is not None:
+            probes.emit("lease.ended", manager=id(self),
+                        lease=lease.lease_id, state=state.value,
+                        active_count=len(self.active))
 
     def _expire(self, lease_id: int) -> None:
         lease = self.active.get(lease_id)

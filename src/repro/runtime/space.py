@@ -28,6 +28,22 @@ class ThreadSafeTupleSpace:
         self._changed = threading.Condition(self._lock)
         self.deposits = 0
         self.consumed = 0
+        self._waiting = 0
+        #: Cumulative number of blocking operations that actually parked
+        #: on the condition variable (monotone — safe for tests to poll
+        #: without racing the gauge's decrement).
+        self.wait_entries = 0
+
+    @property
+    def waiting(self) -> int:
+        """Blocked readers currently parked on the condition variable.
+
+        A synchronization point for tests and telemetry: once this is
+        non-zero, a blocking ``rd``/``in_`` has scanned the store, found
+        no match, and is guaranteed to be woken by the next deposit —
+        no wall-clock sleep needed to "let the reader start".
+        """
+        return self._waiting
 
     @property
     def store(self) -> TupleStore:
@@ -97,21 +113,30 @@ class ThreadSafeTupleSpace:
     def _blocking(self, pattern: Pattern, remove: bool,
                   timeout: Optional[float]) -> Optional[Tuple]:
         deadline = None if timeout is None else time.monotonic() + timeout
+        parked = False
         with self._changed:
-            while True:
-                entry = self._find_live(pattern)
-                if entry is not None:
-                    if remove:
-                        self._store.remove(entry.entry_id)
-                        self.consumed += 1
-                    return entry.tuple
-                if deadline is None:
-                    self._changed.wait()
-                else:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        return None
-                    self._changed.wait(remaining)
+            try:
+                while True:
+                    entry = self._find_live(pattern)
+                    if entry is not None:
+                        if remove:
+                            self._store.remove(entry.entry_id)
+                            self.consumed += 1
+                        return entry.tuple
+                    if not parked:
+                        parked = True
+                        self._waiting += 1
+                        self.wait_entries += 1
+                    if deadline is None:
+                        self._changed.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return None
+                        self._changed.wait(remaining)
+            finally:
+                if parked:
+                    self._waiting -= 1
 
     def _find_live(self, pattern: Pattern):
         """A live (unexpired) matching entry; reaps expired ones it meets."""

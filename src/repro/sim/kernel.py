@@ -29,12 +29,23 @@ class Timer:
 
     Instances are created by :meth:`Simulator.schedule`; user code only ever
     calls :meth:`cancel` or inspects :attr:`cancelled`/:attr:`fired`.
+
+    ``tiebreak`` is a secondary sort key between ``time`` and ``seq``: with
+    the default of ``0.0`` for every timer the heap order is exactly the
+    historical ``(time, seq)`` FIFO, so seeded experiments are bit-identical.
+    A schedule-exploration harness (``repro.check``) installs a tiebreak
+    hook that assigns random subkeys, turning same-instant FIFO into an
+    adversarially explorable interleaving while staying deterministic per
+    seed.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "tiebreak", "seq", "callback", "args", "cancelled",
+                 "fired")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple) -> None:
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
+                 tiebreak: float = 0.0) -> None:
         self.time = time
+        self.tiebreak = tiebreak
         self.seq = seq
         self.callback = callback
         self.args = args
@@ -51,7 +62,8 @@ class Timer:
         return not self.cancelled and not self.fired
 
     def __lt__(self, other: "Timer") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return ((self.time, self.tiebreak, self.seq)
+                < (other.time, other.tiebreak, other.seq))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
@@ -82,6 +94,14 @@ class Simulator:
         self._rng_children: dict[str, RngStream] = {}
         self.events_processed = 0
         self._obs = None
+        #: Optional ``fn() -> float`` returning the tiebreak subkey stamped
+        #: on every subsequently scheduled timer (see :class:`Timer`).
+        #: ``None`` (the default) keeps the historical FIFO order.
+        self._tiebreak_hook: Optional[Callable[[], float]] = None
+        #: Optional ``fn(timer)`` invoked after every executed callback —
+        #: the model checker's schedule recorder.  ``None`` by default; the
+        #: run loop pays one falsy check per event, nothing else.
+        self.event_hook: Optional[Callable[[Timer], None]] = None
         self.profiling = False
         #: handler label -> [calls, perf_counter seconds]; populated only
         #: while :meth:`enable_profiling` is in effect.
@@ -152,16 +172,35 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def set_tiebreak(self, hook: Optional[Callable[[], float]]) -> None:
+        """Install (or clear, with ``None``) the same-instant tiebreak hook.
+
+        When set, every subsequently scheduled timer is stamped with
+        ``hook()`` as its secondary sort key, so callbacks scheduled for
+        the *same instant* execute in hook-chosen order instead of FIFO.
+        This is the model checker's schedule-exploration lever: a hook
+        drawing from a named :meth:`rng` stream yields a different — but
+        per-seed deterministic — interleaving of every same-tick race
+        (delivery vs. expiry, ack vs. retransmit, flush vs. handler).
+
+        Timers already in the queue keep their stamps; clearing the hook
+        restores FIFO for future scheduling only.
+        """
+        self._tiebreak_hook = hook
+
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
         """Run ``callback(*args)`` after ``delay`` units of virtual time.
 
         ``delay`` must be non-negative; a zero delay schedules the callback
         for the current instant, after all callbacks already queued for this
-        instant (FIFO).
+        instant (FIFO — unless a tiebreak hook reorders same-instant
+        callbacks, see :meth:`set_tiebreak`).
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        timer = Timer(self._now + delay, next(self._seq), callback, args)
+        tiebreak = 0.0 if self._tiebreak_hook is None else self._tiebreak_hook()
+        timer = Timer(self._now + delay, next(self._seq), callback, args,
+                      tiebreak)
         heapq.heappush(self._queue, timer)
         return timer
 
@@ -240,6 +279,8 @@ class Simulator:
                         break
                 processed += 1
                 self.events_processed += 1
+                if self.event_hook is not None:
+                    self.event_hook(timer)
         finally:
             self._running = False
         if until is not None and self._now < until:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.check import probes
 from repro.errors import TupleError
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
@@ -73,6 +74,12 @@ class LocalTupleSpace:
         self.name = name
         self.rng = rng if rng is not None else sim.rng(f"space/{name}")
         self.store = TupleStore()
+        # Planted bug for oracle validation (tests only): with the
+        # `double_take` canary on, a deposited tuple keeps being offered to
+        # further blocked ``in`` waiters after one has already consumed it —
+        # the same tuple satisfies two destructive reads.  Read once at
+        # construction (see repro.check.probes).
+        self._canary_double_take = probes.canary(probes.CANARY_DOUBLE_TAKE)
         self._waiters: list[Waiter] = []
         self._on_out: list[Callable[[StoredEntry], None]] = []
         self._on_removed: list[Callable[[StoredEntry, str], None]] = []
@@ -112,6 +119,8 @@ class LocalTupleSpace:
         meta = dict(meta or {})
         if expires_at is not None:
             meta["expires_at"] = expires_at
+        if probes.SINK is not None:
+            probes.emit("space.deposit", space=self.name, tup=tup)
         consumed = self._offer_to_waiters(tup)
         if consumed:
             # The tuple was taken by a blocked `in`; record a transient entry
@@ -143,6 +152,8 @@ class LocalTupleSpace:
             return None
         self.store.remove(entry.entry_id)
         self.consumed += 1
+        if probes.SINK is not None:
+            probes.emit("space.consume", space=self.name, tup=entry.tuple)
         self._notify_removed(entry, "consumed")
         return entry.tuple
 
@@ -169,6 +180,8 @@ class LocalTupleSpace:
         """Finalize a held match's removal."""
         entry = self.store.confirm(entry_id)
         self.consumed += 1
+        if probes.SINK is not None:
+            probes.emit("space.consume", space=self.name, tup=entry.tuple)
         self._notify_removed(entry, "consumed")
         return entry
 
@@ -226,6 +239,9 @@ class LocalTupleSpace:
             if remove:
                 self.store.remove(existing.entry_id)
                 self.consumed += 1
+                if probes.SINK is not None:
+                    probes.emit("space.consume", space=self.name,
+                                tup=existing.tuple)
                 self._notify_removed(existing, "consumed")
             waiter.event.succeed(existing.tuple)
             return waiter
@@ -234,14 +250,23 @@ class LocalTupleSpace:
 
     def _offer_to_waiters(self, tup: Tuple) -> bool:
         """Offer a fresh tuple to waiters; True if an `in` consumed it."""
+        consumed = False
         for waiter in list(self._waiters):
             if not matches(waiter.pattern, tup):
                 continue
             self._waiters.remove(waiter)
             waiter.event.succeed(tup)
             if waiter.remove:
+                if probes.SINK is not None:
+                    probes.emit("space.consume", space=self.name, tup=tup)
+                if self._canary_double_take:
+                    # Planted bug: keep offering the already-consumed tuple
+                    # to further waiters — a second blocked `in` will take
+                    # the same tuple (double destructive read).
+                    consumed = True
+                    continue
                 return True
-        return False
+        return consumed
 
     def _offer_entry_to_waiters(self, entry: StoredEntry) -> None:
         """Offer a re-released resident entry to waiters."""
@@ -253,6 +278,9 @@ class LocalTupleSpace:
             if waiter.remove:
                 self.store.remove(entry.entry_id)
                 self.consumed += 1
+                if probes.SINK is not None:
+                    probes.emit("space.consume", space=self.name,
+                                tup=entry.tuple)
                 self._notify_removed(entry, "consumed")
                 return
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Iterator, Optional
 
+from repro.check import probes
 from repro.errors import TupleError
 from repro.sim.rng import RngStream
 from repro.tuples.matching import matches
@@ -74,6 +75,12 @@ class TupleStore:
 
     def __init__(self) -> None:
         self._ids = itertools.count(1)
+        # Planted bug for oracle validation (tests only): with the `ghost`
+        # canary on, candidate iteration ignores the visibility filter, so
+        # scans can match tuples that were already removed or are held —
+        # exactly the "ghost read after remove" class the checker's
+        # GhostReadOracle exists to catch.  Read once at construction.
+        self._canary_ghost = probes.canary(probes.CANARY_GHOST)
         self._entries: dict[int, StoredEntry] = {}
         # arity -> insertion-ordered dict of entry_id -> StoredEntry
         self._by_arity: dict[int, dict[int, StoredEntry]] = {}
@@ -105,10 +112,25 @@ class TupleStore:
         for pos, value in enumerate(tup.fields):
             key = (tup.arity, pos, self._value_key(value))
             self._by_actual.setdefault(key, {})[entry.entry_id] = entry
+        if probes.SINK is not None:
+            probes.emit("store.add", store=id(self), entry=entry.entry_id)
         return entry
 
     def remove(self, entry_id: int) -> StoredEntry:
         """Permanently remove an entry (held or visible)."""
+        if self._canary_ghost:
+            # Planted bug: the entry is flagged removed but never unindexed,
+            # so (combined with the visibility filter the canary disables in
+            # :meth:`candidates`) later scans can still match it — a ghost.
+            entry = self._entries.get(entry_id)
+            if entry is None:
+                raise TupleError(f"no entry #{entry_id} in store")
+            self._version += 1
+            entry.removed = True
+            entry.held = False
+            if probes.SINK is not None:
+                probes.emit("store.remove", store=id(self), entry=entry_id)
+            return entry
         entry = self._entries.pop(entry_id, None)
         if entry is None:
             raise TupleError(f"no entry #{entry_id} in store")
@@ -123,6 +145,8 @@ class TupleStore:
                 bucket.pop(entry_id, None)
                 if not bucket:
                     del self._by_actual[key]
+        if probes.SINK is not None:
+            probes.emit("store.remove", store=id(self), entry=entry_id)
         return entry
 
     # ------------------------------------------------------------------
@@ -176,6 +200,10 @@ class TupleStore:
                 buckets.append(self._by_actual.get(key, {}))
         smallest = min(buckets, key=len)
         source = list(smallest.values()) if snapshot else smallest.values()
+        if self._canary_ghost:
+            # Planted bug: visibility (removed/held) is not filtered.
+            yield from source
+            return
         for entry in source:
             if entry.visible:
                 yield entry
@@ -215,6 +243,10 @@ class TupleStore:
             self.scan_cache_hits += 1
             if self.scan_observer is not None:
                 self.scan_observer(0)
+            if probes.SINK is not None:
+                for entry in cached[1]:
+                    probes.emit("store.match", store=id(self),
+                                entry=entry.entry_id)
             return list(cached[1])
         examined = 0
         found: list[StoredEntry] = []
@@ -222,6 +254,10 @@ class TupleStore:
             examined += 1
             if matches(pattern, entry.tuple):
                 found.append(entry)
+        if probes.SINK is not None:
+            for entry in found:
+                probes.emit("store.match", store=id(self),
+                            entry=entry.entry_id)
         self.scans += 1
         self.entries_scanned += examined
         self.scan_cache_misses += 1

@@ -1,0 +1,40 @@
+"""Shared test configuration: Hypothesis settings profiles.
+
+Two profiles, selected with ``HYPOTHESIS_PROFILE`` (default ``dev``):
+
+* ``ci``  — derandomized (no fresh entropy per run, so CI failures are
+  reproducible from the log alone), ``deadline=None`` (shared runners
+  have noisy clocks; per-example deadlines are the classic flake source),
+  and ``print_blob=True`` so a failing example prints its
+  ``@reproduce_failure`` blob.
+* ``dev`` — fast local iteration: fewer examples, deadline off, blob
+  printing on so a local failure is also replayable.
+
+The import is guarded so the suite still collects in environments
+without Hypothesis installed (the property tests themselves would be
+skipped/erroring, but plain unit tests keep working).
+"""
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        max_examples=100,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "dev",
+        deadline=None,
+        max_examples=25,
+        print_blob=True,
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,223 @@
+"""The model checker's oracle layer: unit shadows + exploration smoke."""
+
+import pytest
+
+from repro.check import probes
+from repro.check.explorer import (
+    TEMPLATES,
+    Explorer,
+    Perturbations,
+    run_schedule,
+)
+from repro.check.oracles import (
+    ExactlyOnceOracle,
+    GhostReadOracle,
+    InvariantMonitor,
+    LeaseConservationOracle,
+    RefusalVocabularyOracle,
+    ReliabilityNoDupOracle,
+    Violation,
+)
+from repro.tuples import Tuple
+
+
+# ----------------------------------------------------------------------
+# Probe plumbing
+# ----------------------------------------------------------------------
+def test_probe_sink_install_is_exclusive():
+    events = []
+    probes.install(lambda event, fields: events.append(event))
+    try:
+        with pytest.raises(RuntimeError):
+            probes.install(lambda event, fields: None)
+        probes.emit("x", a=1)
+        assert events == ["x"]
+    finally:
+        probes.uninstall()
+    probes.uninstall()  # idempotent
+    probes.emit("y")    # no sink: silently dropped
+    assert events == ["x"]
+
+
+def test_canary_reads_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK_CANARY", raising=False)
+    assert not probes.canary(probes.CANARY_GHOST)
+    monkeypatch.setenv("REPRO_CHECK_CANARY", "ghost")
+    assert probes.canary(probes.CANARY_GHOST)
+    assert not probes.canary(probes.CANARY_DOUBLE_TAKE)
+
+
+def test_probes_are_observationally_passive():
+    """With and without a sink, a seeded run is bit-identical.
+
+    This is the checker's licence to exist: probe sites cost one module
+    attribute load when unmonitored and never perturb behaviour when
+    monitored.
+    """
+    for template in sorted(TEMPLATES):
+        monitored = run_schedule(template, 11)
+        unmonitored = run_schedule(template, 11, monitored=False)
+        assert monitored.schedule_hash == unmonitored.schedule_hash
+        assert monitored.events == unmonitored.events
+        assert monitored.probe_events > 0  # the sink actually saw traffic
+
+
+# ----------------------------------------------------------------------
+# Oracle shadows, driven synthetically
+# ----------------------------------------------------------------------
+def _monitor(oracle):
+    return InvariantMonitor(sim=None, oracles=[oracle],
+                            stop_on_violation=False)
+
+
+def test_exactly_once_oracle_flags_double_consume():
+    monitor = _monitor(ExactlyOnceOracle())
+    tup = Tuple("job", 1)
+    monitor("space.deposit", {"space": "a", "tup": tup})
+    monitor("space.consume", {"space": "a", "tup": tup})
+    assert not monitor.violations
+    monitor("space.consume", {"space": "b", "tup": tup})
+    assert len(monitor.violations) == 1
+    assert monitor.violations[0].oracle == "exactly_once"
+
+
+def test_exactly_once_oracle_allows_duplicate_values():
+    monitor = _monitor(ExactlyOnceOracle())
+    tup = Tuple("job", 1)
+    for _ in range(2):  # a genuine multiset: two identical deposits
+        monitor("space.deposit", {"space": "a", "tup": tup})
+    for _ in range(2):
+        monitor("space.consume", {"space": "a", "tup": tup})
+    assert not monitor.violations
+
+
+def test_ghost_read_oracle_flags_match_after_remove():
+    monitor = _monitor(GhostReadOracle())
+    monitor("store.add", {"store": 1, "entry": 7})
+    monitor("store.match", {"store": 1, "entry": 7})
+    monitor("store.remove", {"store": 1, "entry": 7})
+    assert not monitor.violations
+    monitor("store.match", {"store": 1, "entry": 7})
+    assert len(monitor.violations) == 1
+    assert monitor.violations[0].oracle == "ghost_read"
+    # same entry id in a different store is a different entry
+    monitor2 = _monitor(GhostReadOracle())
+    monitor2("store.add", {"store": 2, "entry": 7})
+    monitor2("store.match", {"store": 2, "entry": 7})
+    assert not monitor2.violations
+
+
+def test_lease_conservation_oracle_flags_leak():
+    monitor = _monitor(LeaseConservationOracle())
+    monitor("lease.granted", {"manager": 1, "lease": 1, "op": "rdp",
+                              "active_count": 1})
+    monitor("lease.granted", {"manager": 1, "lease": 2, "op": "out",
+                              "active_count": 2})
+    monitor("lease.ended", {"manager": 1, "lease": 1, "state": "released",
+                            "active_count": 1})
+    assert not monitor.violations
+    # A leak: the manager claims 1 active after both leases ended.
+    monitor("lease.ended", {"manager": 1, "lease": 2, "state": "expired",
+                            "active_count": 1})
+    assert len(monitor.violations) == 1
+    assert "conservation" in monitor.violations[0].detail
+
+
+def test_lease_conservation_oracle_flags_double_end_and_unknown():
+    monitor = _monitor(LeaseConservationOracle())
+    monitor("lease.granted", {"manager": 1, "lease": 1, "op": "in",
+                              "active_count": 1})
+    monitor("lease.ended", {"manager": 1, "lease": 1, "state": "released",
+                            "active_count": 0})
+    monitor("lease.ended", {"manager": 1, "lease": 1, "state": "revoked",
+                            "active_count": 0})
+    assert any("ended twice" in v.detail for v in monitor.violations)
+    monitor("lease.ended", {"manager": 1, "lease": 99, "state": "expired",
+                            "active_count": 0})
+    assert any("never granted" in v.detail for v in monitor.violations)
+
+
+def test_refusal_vocabulary_oracle_closure():
+    from repro.core.admission import ALL_REFUSAL_REASONS
+
+    monitor = _monitor(RefusalVocabularyOracle())
+    for reason in sorted(ALL_REFUSAL_REASONS):
+        monitor("serving.refusal", {"node": "a", "op_id": "a#1",
+                                    "reason": reason})
+        monitor("admission.shed", {"reason": reason, "retry_after": 0.1})
+    assert not monitor.violations
+    monitor("serving.refusal", {"node": "a", "op_id": "a#2",
+                                "reason": "mystery_meat"})
+    assert len(monitor.violations) == 1
+    assert monitor.violations[0].oracle == "refusal_vocabulary"
+
+
+def test_reliability_no_dup_oracle():
+    monitor = _monitor(ReliabilityNoDupOracle())
+    monitor("rel.dispatch", {"src": "a", "dst": "b", "epoch": 1, "seq": 4})
+    monitor("rel.dispatch", {"src": "a", "dst": "b", "epoch": 1, "seq": 5})
+    monitor("rel.dispatch", {"src": "b", "dst": "a", "epoch": 1, "seq": 4})
+    assert not monitor.violations
+    monitor("rel.dispatch", {"src": "a", "dst": "b", "epoch": 1, "seq": 4})
+    assert len(monitor.violations) == 1
+    assert monitor.violations[0].oracle == "reliability_no_dup"
+
+
+def test_violation_to_dict_roundtrip_fields():
+    violation = Violation("ghost_read", "boo", 17, "store.match")
+    data = violation.to_dict()
+    assert data == {"oracle": "ghost_read", "detail": "boo",
+                    "event_index": 17, "probe": "store.match"}
+
+
+# ----------------------------------------------------------------------
+# Exploration
+# ----------------------------------------------------------------------
+def test_run_schedule_is_deterministic_per_seed():
+    a = run_schedule("contended_take", 5)
+    b = run_schedule("contended_take", 5)
+    assert a.schedule_hash == b.schedule_hash
+    assert a.events == b.events
+    # different seeds explore different schedules
+    c = run_schedule("contended_take", 6)
+    assert c.schedule_hash != a.schedule_hash
+
+
+def test_run_schedule_prefix_is_consistent():
+    full = run_schedule("lease_storm", 2)
+    prefix = run_schedule("lease_storm", 2, max_events=40)
+    assert prefix.events == 40 < full.events
+
+
+def test_perturbation_ablation_layers():
+    perturb = Perturbations()
+    assert perturb.enabled() == ["tiebreak", "faults", "churn"]
+    ablated = perturb.without("faults")
+    assert ablated.enabled() == ["tiebreak", "churn"]
+    assert perturb.faults  # original untouched
+    assert Perturbations.from_dict(ablated.to_dict()).enabled() == (
+        ablated.enabled())
+
+
+def test_tiebreak_layer_changes_schedules():
+    noisy = run_schedule("contended_take", 4)
+    fifo = run_schedule("contended_take", 4,
+                        Perturbations(tiebreak=False, faults=True,
+                                      churn=True))
+    assert noisy.schedule_hash != fifo.schedule_hash
+
+
+def test_unknown_template_rejected():
+    with pytest.raises(ValueError):
+        run_schedule("no_such_template", 0)
+    with pytest.raises(ValueError):
+        Explorer(templates=["no_such_template"])
+
+
+def test_explorer_smoke_clean_on_main():
+    result = Explorer().run(schedules=12)
+    assert result.schedules_run == 12
+    assert result.clean, [r.headline() for r in result.reports]
+    assert set(result.per_template) == set(TEMPLATES)
+    assert result.schedules_per_second > 0
+    assert "CLEAN" in result.summary()

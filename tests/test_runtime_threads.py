@@ -1,11 +1,31 @@
-"""Tests for the real-thread runtime (concurrency, blocking, visibility)."""
+"""Tests for the real-thread runtime (concurrency, blocking, visibility).
+
+Synchronization discipline: no bare ``time.sleep`` to "let a thread get
+going".  Tests that need a reader to be *blocked* before acting wait on
+the space's waiter counters (:func:`wait_until`), which is both faster
+and deterministic under scheduler jitter.  ``pytest.mark.timeout`` caps
+the whole module as a hang guard (enforced when pytest-timeout is
+installed — CI — and inert locally).
+"""
 
 import threading
 import time
 
+import pytest
 
 from repro.runtime import ThreadSafeTupleSpace, ThreadedNodeRegistry, ThreadedTiamatNode
 from repro.tuples import Formal, Pattern, Tuple
+
+pytestmark = pytest.mark.timeout(60)
+
+
+def wait_until(predicate, timeout=5.0, interval=0.001, what="condition"):
+    """Poll ``predicate`` until true; fail loudly instead of hanging."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"{what} not reached within {timeout}s")
+        time.sleep(interval)
 
 
 # ---------------------------------------------------------------------------
@@ -28,9 +48,12 @@ def test_blocking_rd_wakes_on_deposit():
 
     thread = threading.Thread(target=reader)
     thread.start()
-    time.sleep(0.05)
+    # Condition-based sync: only deposit once the reader is parked, so
+    # the wake-on-deposit path is exercised every run, not just usually.
+    wait_until(lambda: space.waiting == 1, what="reader parked")
     space.out(Tuple("ping"))
     thread.join(timeout=5.0)
+    assert not thread.is_alive()
     assert results == [Tuple("ping")]
 
 
@@ -71,8 +94,10 @@ def test_lease_expiry_wall_clock():
     space = ThreadSafeTupleSpace()
     space.out(Tuple("mortal"), lease_duration=0.05)
     assert space.rdp(Pattern("mortal")) == Tuple("mortal")
-    time.sleep(0.08)
-    assert space.rdp(Pattern("mortal")) is None
+    # Bounded poll instead of a fixed oversleep: pass as soon as the
+    # lease has actually lapsed, fail loudly if it never does.
+    wait_until(lambda: space.rdp(Pattern("mortal")) is None,
+               what="lease expiry")
     assert space.count() == 0
 
 
@@ -119,9 +144,12 @@ def test_blocking_across_nodes_with_real_threads():
 
     thread = threading.Thread(target=consumer)
     thread.start()
-    time.sleep(0.05)
+    # The node's blocking loop parks on its local space between peer
+    # probes; one recorded wait entry proves the consumer is in the loop.
+    wait_until(lambda: b.space.wait_entries >= 1, what="consumer blocking")
     a.out(Tuple("work"))
     thread.join(timeout=5.0)
+    assert not thread.is_alive()
     assert results == [Tuple("work")]
 
 
@@ -136,9 +164,12 @@ def test_visibility_change_mid_block_is_opportunistic():
 
     thread = threading.Thread(target=consumer)
     thread.start()
-    time.sleep(0.05)
+    # Wait for the consumer to be mid-block (it has already re-sampled
+    # visibility at least once and found nothing), then flip the edge.
+    wait_until(lambda: b.space.wait_entries >= 1, what="consumer blocking")
     registry.set_visible("a", "b")
     thread.join(timeout=5.0)
+    assert not thread.is_alive()
     assert results == [Tuple("late-visible")]
 
 
