@@ -292,6 +292,101 @@ def build_lease_storm(sim: Simulator, net: Network,
     return insts, 3.0
 
 
+@template("crash_recover")
+def build_crash_recover(sim: Simulator, net: Network,
+                        vis: VisibilityGraph, rng,
+                        perturb: "Perturbations") -> tuple:
+    """A durable producer killed mid-run: exactly-once across process death.
+
+    ``srv`` deposits jobs under a write-ahead-log backend (in-memory
+    filesystem) while two consumers take them remotely through the claim
+    protocol — so every destructive consume is witnessed by its origin.
+    On a seeded timetable the server dies twice; each death may land
+    mid-compaction (snapshot written, WAL reset lost) and always tears a
+    seeded number of bytes off the WAL tail, modelling an append in
+    flight at the moment of power loss.  Recovery truncates the torn
+    tail, replays the log, quarantines the survivors, and reconciles
+    with the consumers before releasing anything — the exactly-once
+    oracle flags any resurrected consumed tuple the instant a consumer
+    takes it twice, and the ghost-read oracle watches the store indexes
+    throughout.
+
+    Every random draw happens regardless of the churn switch, so
+    ablating the crash layer keeps all other streams aligned.
+    """
+    from repro.net.faults import CrashRestartInjector
+    from repro.tuples.storage import MemoryFS, WALBackend, attach_backend
+
+    names = ["srv", "c1", "c2"]
+    edges = [("srv", "c1"), ("srv", "c2"), ("c1", "c2")]
+    registry = {n: TiamatInstance(sim, net, n) for n in names}
+    for left, right in edges:
+        vis.set_visible(left, right, True)
+
+    def factory(name: str) -> TiamatInstance:
+        inst = TiamatInstance(sim, net, name)
+        # Network.detach dropped the victim's visibility edges at crash.
+        for left, right in edges:
+            if name in (left, right):
+                vis.set_visible(left, right, True)
+        return inst
+
+    backend = attach_backend(
+        registry["srv"].space,
+        WALBackend("srv", fs=MemoryFS(), compact_every=6))
+    injector = CrashRestartInjector(sim, registry, factory, durable=True,
+                                    backends={"srv": backend})
+    jobs = Pattern("job", int)
+
+    def producer():
+        for i in range(10):
+            yield sim.timeout(0.05 + rng.random() * 0.15)
+            inst = registry.get("srv")
+            if inst is None:
+                continue  # down: this deposit was never acknowledged
+            try:
+                inst.out(Tuple("job", i), requester=_terms(30.0))
+            except Exception:
+                pass  # lease refused: the deposit failed before storage
+
+    def consumer(name, jitter):
+        yield sim.timeout(jitter)
+        for _ in range(4):
+            op = registry[name].in_(
+                jobs, requester=_terms(0.6 + rng.random() * 0.4))
+            yield op.event
+            yield sim.timeout(rng.random() * 0.05)
+
+    sim.spawn(producer())
+    sim.spawn(consumer("c1", 0.1))
+    sim.spawn(consumer("c2", 0.12 + rng.random() * 0.05))
+
+    # Two seeded kill cycles, each with its own kill-point geometry.
+    cycles = []
+    for base in (0.5, 1.6):
+        crash_at = base + rng.random() * 0.4
+        restart_at = crash_at + 0.15 + rng.random() * 0.25
+        mid_compact = rng.random() < 0.5
+        chop = rng.randint(1, 24)
+        cycles.append((crash_at, restart_at, mid_compact, chop))
+
+    def kill(mid_compact: bool, chop: int) -> None:
+        if "srv" not in registry:
+            return
+        if mid_compact:
+            # Kill-point: snapshot landed, WAL reset never happened.
+            backend.compact(sim.now, _crash_after_snapshot=True)
+        injector.crash("srv")
+        # Kill-point: the final append was in flight when power died.
+        backend.tear_tail(chop)
+
+    if perturb.churn:
+        for crash_at, restart_at, mid_compact, chop in cycles:
+            sim.schedule_at(crash_at, kill, mid_compact, chop)
+            sim.schedule_at(restart_at, injector.restart, "srv")
+    return list(registry.values()), 3.0
+
+
 # ----------------------------------------------------------------------
 # Running one schedule
 # ----------------------------------------------------------------------

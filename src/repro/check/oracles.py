@@ -200,7 +200,14 @@ class RefusalVocabularyOracle(Oracle):
 
 
 class ReliabilityNoDupOracle(Oracle):
-    """The reliable channel never dispatches one frame twice."""
+    """The reliable channel never dispatches one frame twice.
+
+    Scoped per *receiver incarnation* (the ``rinc`` probe field): dedup
+    windows are volatile, so a node that crashes and durably recovers
+    legitimately re-dispatches retransmissions its dead predecessor had
+    already seen — at-least-once delivery, absorbed by the idempotent
+    handlers above, not a dedup failure.
+    """
 
     name = "reliability_no_dup"
 
@@ -211,7 +218,7 @@ class ReliabilityNoDupOracle(Oracle):
     def on_event(self, event: str, fields: Dict[str, Any]) -> None:
         if event == "rel.dispatch":
             key = (fields["src"], fields["dst"], fields["epoch"],
-                   fields["seq"])
+                   fields["seq"], fields.get("rinc"))
             if key in self._dispatched:
                 self.fail(f"reliable frame {key} dispatched twice",
                           event, fields)

@@ -7,6 +7,8 @@
     python -m repro.cli compare --systems tiamat,central --nodes 8
     python -m repro.cli trace --seed 3 --loss 0.05 --chrome trace.json
     python -m repro.cli chaos --items 6 --seed 1
+    python -m repro.cli chaos --durable --items 8 --seed 1
+    python -m repro.cli wal inspect /tmp/chaos-wal/server.wal
     python -m repro.cli overload --clients 8 --duration 12
     python -m repro.cli stats --nodes 8 --duration 30 --format prom
 
@@ -27,6 +29,13 @@ Subcommands:
     A scripted fault scenario — burst loss, duplication, corruption, and a
     server power-cycle — with the trace, drop-reason stats, and
     reliability-sublayer counters printed (demo of ``repro.net.faults``).
+    With ``--durable`` the server's space sits on a write-ahead log and the
+    power-cycle goes through crash recovery + anti-entropy rejoin
+    (``docs/PROTOCOL.md`` section 10) instead of an in-memory snapshot.
+``wal``
+    Storage tooling: ``wal inspect PATH`` decodes a write-ahead log —
+    frame-by-frame records, the embedded snapshot, torn-tail diagnosis,
+    and the live entry set a recovery would rebuild.
 ``overload``
     The T11 goodput-vs-offered-load sweep, uncontrolled vs
     admission-controlled serving side by side: congestion collapse versus
@@ -41,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.apps import RequestResponseWorkload
@@ -252,13 +262,30 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     registry["client"] = factory("client")
     trace = ProtocolTrace(net).attach()
 
+    backend = wal_dir = None
+    if args.durable:
+        import tempfile
+
+        from repro.tuples.storage import WALBackend, attach_backend
+
+        wal_dir = tempfile.mkdtemp(prefix="repro-chaos-wal-")
+        backend = attach_backend(
+            registry["server"].space,
+            WALBackend(os.path.join(wal_dir, "server"), compact_every=16))
+
     for i in range(args.items):
         registry["server"].out(
             Tuple("item", i),
             requester=SimpleLeaseRequester(LeaseTerms(duration=300.0)))
 
-    # Power-cycle the server mid-run: its space round-trips persistence.
-    boom = CrashRestartInjector(sim, registry, factory)
+    # Power-cycle the server mid-run: its space round-trips persistence —
+    # an in-memory snapshot by default, full WAL crash recovery with the
+    # anti-entropy rejoin under --durable.
+    if args.durable:
+        boom = CrashRestartInjector(sim, registry, factory, durable=True,
+                                    backends={"server": backend})
+    else:
+        boom = CrashRestartInjector(sim, registry, factory)
     boom.power_cycle("server", crash_time=2.0, restart_time=4.0)
 
     consumed = []
@@ -288,6 +315,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     print(f"power cycle: crashes={boom.crashes} restarts={boom.restarts} "
           f"tuples restored={boom.tuples_restored} "
           f"reclaimed={boom.tuples_reclaimed}")
+    if args.durable:
+        print(f"durable recovery: ghosts purged={boom.ghosts_purged} "
+              f"wal records out={backend.records_out} "
+              f"rm={backend.records_remove} "
+              f"compactions={backend.compactions} "
+              f"torn truncations={backend.torn_truncations}")
+        print(f"wal dir: {wal_dir}")
     print(f"fault plan: {plan.frames_seen} frames judged, "
           f"{plan.frames_dropped} dropped")
     print(net.stats.drop_summary())
@@ -350,6 +384,42 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if result.clean else 1
 
 
+def cmd_wal(args: argparse.Namespace) -> int:
+    """Storage tooling: decode a write-ahead log + snapshot pair."""
+    from repro.tuples.storage import inspect_wal
+
+    base = args.path
+    for ext in (".wal", ".snap"):
+        if base.endswith(ext):
+            base = base[:-len(ext)]
+    info = inspect_wal(base, codec=args.codec, max_records=args.max_records)
+    print(f"wal:  {info['wal_path']} ({info['wal_bytes']} bytes, "
+          f"{info['wal_records']} records)")
+    if info["snapshot_entries"] is None:
+        print(f"snap: {info['snap_path']} (absent)")
+    else:
+        print(f"snap: {info['snap_path']} ({info['snapshot_entries']} "
+              f"entries, taken at t={info['snapshot_at']})")
+    if info["torn"]:
+        print(f"torn tail: {info['torn_bytes']} trailing bytes do not frame "
+              "(recovery would truncate them)")
+    print(f"live entries after replay: {info['live_entries']}")
+    for record in info["records"]:
+        if record.get("op") == "out":
+            print(f"  out  #{record['id']} at t={record.get('at')} "
+                  f"exp={record.get('exp')} tup={record.get('tup')}")
+        elif record.get("op") == "rm":
+            print(f"  rm   #{record['id']} at t={record.get('at')} "
+                  f"why={record.get('why')}")
+        else:
+            print(f"  {record}")
+    shown = len(info["records"])
+    if shown < info["wal_records"]:
+        print(f"  ... {info['wal_records'] - shown} more records "
+              "(raise --max-records)")
+    return 0
+
+
 def cmd_differential(args: argparse.Namespace) -> int:
     """Sim vs threaded runtime conformance over scripted workloads."""
     from repro.check.differential import run_differential
@@ -395,6 +465,23 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser("chaos", help="scripted fault-injection scenario")
     chaos.add_argument("--items", type=int, default=6,
                        help="destructive in ops to run (default 6)")
+    chaos.add_argument("--durable", action="store_true",
+                       help="back the server's space with a write-ahead "
+                            "log; the power-cycle exercises WAL crash "
+                            "recovery and the anti-entropy rejoin")
+
+    wal = sub.add_parser("wal", help="write-ahead-log storage tooling")
+    wal_sub = wal.add_subparsers(dest="wal_command", required=True)
+    wal_inspect = wal_sub.add_parser(
+        "inspect", help="decode a WAL + snapshot pair (read-only)")
+    wal_inspect.add_argument("path",
+                             help="WAL base path (with or without the "
+                                  ".wal/.snap extension)")
+    wal_inspect.add_argument("--codec", choices=("json", "binary"),
+                             default="json",
+                             help="record payload codec (default json)")
+    wal_inspect.add_argument("--max-records", type=int, default=200,
+                             help="record lines to print (default 200)")
 
     perf = sub.add_parser(
         "perf", help="micro-ops hot-path metrics (codec, scan cache, wire)")
@@ -460,6 +547,7 @@ _COMMANDS = {
     "perf": cmd_perf,
     "check": cmd_check,
     "differential": cmd_differential,
+    "wal": cmd_wal,
 }
 
 

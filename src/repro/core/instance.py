@@ -66,6 +66,11 @@ class TiamatInstance:
         "thread_capacity": None, "router": None, "space": None,
     }
 
+    #: Per-peer cap on witnessed remote-consume entry ids (oldest evicted).
+    #: Sized so that even a node consuming from one peer at full tilt keeps
+    #: a long enough memory to cover any plausible crash/restart window.
+    WITNESS_CAP = 4096
+
     def __init__(self, sim: Simulator, network: Network, name: str, *args,
                  policy: Optional[GrantPolicy] = None,
                  config: Optional[TiamatConfig] = None,
@@ -122,6 +127,16 @@ class TiamatInstance:
         self.space.on_removed(self._on_tuple_removed)
         # The special space-info tuple every Tiamat space contains (2.4).
         self.space.out(self.handle().to_tuple())
+        # Anti-entropy witness state: for each peer, which of *that peer's*
+        # entry ids this instance destructively consumed (recorded at every
+        # CLAIM_ACCEPT send).  A durably-recovering peer asks for this set
+        # so torn removal records cannot resurrect consumed tuples.
+        self._consume_witness: dict[str, dict[int, None]] = {}
+        # Rejoin-in-progress state (populated by recover_from).
+        self._rejoin_map: dict[int, int] = {}
+        self._rejoin_pending: set[str] = set()
+        self._rejoin_sid: Optional[int] = None
+        self._rejoin_timer = None
         # statistics
         self.ops_started = 0
         self.ops_satisfied_local = 0
@@ -129,6 +144,15 @@ class TiamatInstance:
         self.ops_unsatisfied = 0
         self.relays_forwarded = 0
         self.relays_dropped = 0
+        self.recoveries = 0
+        self.tuples_restored = 0
+        self.tuples_reclaimed = 0
+        self.ghosts_purged = 0
+        self.rejoin_dropped = 0
+        self.sync_requests_sent = 0
+        self.sync_responses_sent = 0
+        self.rejoins_completed = 0
+        self._recovery_observed = False
         sim.obs.observe_instance(self)
 
     # ==================================================================
@@ -435,6 +459,10 @@ class TiamatInstance:
                 event.succeed(payload["ok"])
         elif kind == protocol.RELAY_OUT:
             self._handle_relay_out(src, payload)
+        elif kind == protocol.SYNC_REQUEST:
+            self._handle_sync_request(src, payload)
+        elif kind == protocol.SYNC_RESPONSE:
+            self._handle_sync_response(src, payload)
 
     def _handle_remote_out(self, src: str, payload: dict) -> None:
         tup = decode_tuple(payload["tuple"])
@@ -519,6 +547,165 @@ class TiamatInstance:
         return restore_space(self.space, snapshot)
 
     # ==================================================================
+    # Durable recovery + anti-entropy rejoin (docs/PROTOCOL.md section 10)
+    # ==================================================================
+    def note_remote_consume(self, peer: str, entry_id: int) -> None:
+        """Witness a destructive consume of ``peer``'s entry ``entry_id``.
+
+        Called at every CLAIM_ACCEPT send; if ``peer`` later crashes and
+        durably recovers, its SYNC_REQUEST collects these so tuples whose
+        removal record was torn off its log are purged, not resurrected.
+        """
+        witnessed = self._consume_witness.setdefault(peer, {})
+        witnessed[entry_id] = None
+        while len(witnessed) > self.WITNESS_CAP:
+            del witnessed[next(iter(witnessed))]
+
+    def recover_from(self, backend, downtime: float = 0.0,
+                     charge_downtime: bool = True, sync: bool = True,
+                     sync_timeout: Optional[float] = None):
+        """Repopulate the local space from a durable storage backend.
+
+        Replays ``backend``'s surviving entries into the space, lease-aware:
+        with ``charge_downtime`` (the default) expiry deadlines stay
+        absolute, so leases kept burning while the node was down and any
+        that ran out are reclaimed instead of restored; with it off, each
+        lease's remaining time *as of the crash* (``downtime`` seconds ago)
+        is re-anchored to the current clock.  Entry ids are bumped past the
+        backend's high-water mark first, so ids never recur across
+        incarnations (see :mod:`repro.tuples.storage.base`).
+
+        With ``sync`` (the default), restored entries enter *quarantined*
+        (held, invisible) and an anti-entropy rejoin asks every visible
+        peer which entry ids it consumed during the downtime; witnessed
+        ghosts are purged and the survivors released once every peer
+        answers.  If ``sync_timeout`` (default ``2 * config.peer_timeout``)
+        closes the window with peers unheard, still-quarantined tuples are
+        **dropped**, not released — a torn removal record must never
+        resurrect a consumed tuple, so unverifiable entries lose.  Returns
+        a :class:`~repro.tuples.storage.base.RecoveryStats`.
+        """
+        from repro.tuples.storage.base import RecoveryStats
+
+        replayed_before = backend.records_replayed
+        torn_before = backend.torn_truncations
+        state = backend.recover()
+        now = self.sim.now
+        self.space.store.bump_ids(state.high_water)
+        restored = 0
+        reclaimed = 0
+        durable_map: dict[int, int] = {}
+        for durable_id, tup, expires_at in state.entries:
+            if expires_at is None:
+                exp = None
+            elif charge_downtime:
+                exp = expires_at
+            else:
+                exp = now + max(0.0, expires_at - (now - downtime))
+            if exp is not None and exp <= now:
+                reclaimed += 1
+                continue
+            # Restored under its original id: durable id == store id ==
+            # wire id in every incarnation, so peer witness records (and
+            # the WAL's own history) keep naming the same tuple forever.
+            entry = self.space.restore_entry(
+                tup, expires_at=exp, meta={"durable_id": durable_id},
+                quarantine=sync, entry_id=durable_id)
+            restored += 1
+            if entry.entry_id:
+                durable_map[durable_id] = entry.entry_id
+        backend.rebind(self.space)
+        self.recoveries += 1
+        self.tuples_restored += restored
+        self.tuples_reclaimed += reclaimed
+        if not self._recovery_observed:
+            self._recovery_observed = True
+            self.sim.obs.observe_recovery(self)
+        if sync:
+            timeout = (sync_timeout if sync_timeout is not None
+                       else 2 * self.config.peer_timeout)
+            self._begin_rejoin(durable_map, timeout)
+        return RecoveryStats(
+            restored=restored, reclaimed=reclaimed,
+            replayed=backend.records_replayed - replayed_before,
+            torn_truncations=backend.torn_truncations - torn_before)
+
+    def _begin_rejoin(self, durable_map: dict, timeout: float) -> None:
+        peers = sorted(self.network.visibility.neighbors(self.name))
+        self._rejoin_map = dict(durable_map)
+        self._rejoin_pending = set(peers)
+        if not peers or not durable_map:
+            self._finish_rejoin()
+            return
+        sid = next(_rids)
+        self._rejoin_sid = sid
+        for peer in peers:
+            self.sync_requests_sent += 1
+            self.send_reliable(peer, {"kind": protocol.SYNC_REQUEST,
+                                      "sid": sid},
+                               deadline=self.sim.now + timeout)
+        self._rejoin_timer = self.sim.schedule(timeout, self._rejoin_timeout)
+
+    def _handle_sync_request(self, src: str, payload: dict) -> None:
+        self.comms.note_alive(src)
+        witnessed = self._consume_witness.get(src, {})
+        self.sync_responses_sent += 1
+        self.send_reliable(src, {"kind": protocol.SYNC_RESPONSE,
+                                 "sid": payload["sid"],
+                                 "consumed": sorted(witnessed)},
+                           deadline=self.sim.now + self.config.peer_timeout)
+
+    def _handle_sync_response(self, src: str, payload: dict) -> None:
+        if self._rejoin_sid is None or payload.get("sid") != self._rejoin_sid:
+            return
+        for durable_id in payload.get("consumed", ()):
+            entry_id = self._rejoin_map.pop(durable_id, None)
+            if entry_id is not None:
+                self._purge_ghost(entry_id)
+        self._rejoin_pending.discard(src)
+        if not self._rejoin_pending:
+            self._finish_rejoin()
+
+    def _purge_ghost(self, entry_id: int) -> None:
+        entry = self.space.store.get(entry_id)
+        if entry is None or entry.removed:
+            return
+        self.space.store.remove(entry_id)
+        self.ghosts_purged += 1
+        # A reconciliation purge is not a consume: no space.consume probe,
+        # so the exactly-once oracle keeps seeing one consume per deposit.
+        self.space._notify_removed(entry, "reconciled")
+
+    def _rejoin_timeout(self) -> None:
+        # The sync window closed with peers unheard: a still-quarantined
+        # tuple might be a ghost those peers consumed, so drop rather than
+        # risk a second destructive take.  Safety over availability — the
+        # peers that did answer already had their witnessed ids purged.
+        self._rejoin_timer = None
+        self._finish_rejoin(release=False)
+
+    def _finish_rejoin(self, release: bool = True) -> None:
+        """End the rejoin: release survivors, or drop them unverified."""
+        if self._rejoin_timer is not None:
+            self._rejoin_timer.cancel()
+            self._rejoin_timer = None
+        self._rejoin_sid = None
+        self._rejoin_pending = set()
+        remaining = sorted(self._rejoin_map.values())
+        self._rejoin_map = {}
+        for entry_id in remaining:
+            entry = self.space.store.get(entry_id)
+            if entry is None or not entry.held:
+                continue
+            if release:
+                self.space.release(entry_id)
+            else:
+                self.space.store.remove(entry_id)
+                self.rejoin_dropped += 1
+                self.space._notify_removed(entry, "reconciled")
+        self.rejoins_completed += 1
+
+    # ==================================================================
     def shutdown(self) -> None:
         """Detach from the network (the local space survives in memory).
 
@@ -532,6 +719,12 @@ class TiamatInstance:
         if self._detached:
             return
         self._detached = True
+        if self._rejoin_timer is not None:
+            self._rejoin_timer.cancel()
+            self._rejoin_timer = None
+        self._rejoin_sid = None
+        self._rejoin_map = {}
+        self._rejoin_pending = set()
         self.reliability.shutdown()
         self.server.close_all()
         for op in list(self._ops.values()):

@@ -204,6 +204,7 @@ class Operation:
             if payload.get("found"):
                 tup = decode_tuple(payload["tuple"])
                 if self.kind is OperationKind.INP:
+                    self.instance.note_remote_consume(peer, payload["entry_id"])
                     self.instance.send_reliable(peer, {
                         "kind": protocol.CLAIM_ACCEPT,
                         "op_id": self.op_id,
@@ -318,6 +319,7 @@ class Operation:
             return
         tup = decode_tuple(payload["tuple"])
         if entry_id is not None:
+            self.instance.note_remote_consume(peer, entry_id)
             self.instance.send_reliable(peer, {
                 "kind": protocol.CLAIM_ACCEPT,
                 "op_id": self.op_id,

@@ -39,6 +39,16 @@ reliability
     :class:`~repro.core.reliability.ReliableChannel`).  The ack itself is
     never reliable: a lost ``REL_ACK`` simply triggers a retransmission of
     the data frame, which the receiver's dedup window absorbs and re-acks.
+
+anti-entropy rejoin
+    ``SYNC_REQUEST`` / ``SYNC_RESPONSE`` reconcile a durably-recovered
+    instance with its live peers.  The restarted node replays its
+    write-ahead log with the restored tuples *quarantined* (held,
+    invisible) and asks each visible peer which of its entry ids the peer
+    witnessed being consumed while it was down; the response lets it purge
+    tuples whose destructive ``in`` committed remotely before the crash —
+    without it a torn removal record would resurrect them as ghosts (see
+    ``docs/PROTOCOL.md`` section 10).
 """
 
 from __future__ import annotations
@@ -60,6 +70,9 @@ RELAY_OUT = "relay_out"
 
 REL_ACK = "rel_ack"
 
+SYNC_REQUEST = "sync_request"
+SYNC_RESPONSE = "sync_response"
+
 #: Every kind, for validation and stats bucketing.
 ALL_KINDS = frozenset({
     DISCOVER, DISCOVER_ACK,
@@ -67,4 +80,5 @@ ALL_KINDS = frozenset({
     CLAIM_ACCEPT, CLAIM_REJECT,
     REMOTE_OUT, REMOTE_OUT_ACK, RELAY_OUT,
     REL_ACK,
+    SYNC_REQUEST, SYNC_RESPONSE,
 })

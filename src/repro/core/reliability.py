@@ -259,8 +259,14 @@ class ReliableChannel:
             window = epochs[epoch] = _PeerWindow(self.config.dedup_window)
         if window.check_and_add(seq):
             if probes.SINK is not None:
+                # ``rinc`` is this receiver's own incarnation (its channel
+                # epoch): dedup windows are volatile, so the no-dup
+                # guarantee is scoped per receiver incarnation — a frame
+                # redelivered to a crashed-and-recovered node is ordinary
+                # at-least-once behaviour, not a dedup failure.
                 probes.emit("rel.dispatch", src=peer,
-                            dst=self.instance.name, epoch=epoch, seq=seq)
+                            dst=self.instance.name, epoch=epoch, seq=seq,
+                            rinc=self.epoch)
             return True
         self.duplicates_dropped += 1
         return False

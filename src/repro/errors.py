@@ -32,6 +32,10 @@ class SerializationError(TupleError):
     """A tuple or pattern could not be encoded or decoded for the wire."""
 
 
+class StorageError(TupleError):
+    """A durable storage backend was misconfigured or its data unusable."""
+
+
 class LeaseError(ReproError):
     """Base class for leasing-subsystem errors."""
 

@@ -290,20 +290,52 @@ class CrashRestartInjector:
     the default), entries whose leases expired while the device was off are
     reclaimed instead of restored, and the survivors are deposited into the
     new space re-anchored to the restart clock.
+
+    **Durable mode** (``durable=True`` plus a ``backends`` dict mapping
+    node name → :class:`~repro.tuples.storage.base.StorageBackend`)
+    models real process death instead of a polite power-down: no snapshot
+    is taken at crash time — whatever the victim's backend had durably
+    recorded *before* the crash is all that survives.  The restart goes
+    through :meth:`TiamatInstance.recover_from`: lease-aware replay, id
+    high-watering, and (``sync_on_restart``, default on) the anti-entropy
+    rejoin that purges tuples consumed remotely during the downtime.
     """
 
     def __init__(self, sim, registry: dict,
                  factory: Callable[[str], object],
-                 charge_downtime: bool = True) -> None:
+                 charge_downtime: bool = True,
+                 durable: bool = False,
+                 backends: Optional[dict] = None,
+                 sync_on_restart: bool = True,
+                 sync_timeout: Optional[float] = None) -> None:
+        if durable and not backends:
+            raise ValueError("durable mode needs a backends dict "
+                             "(node name -> StorageBackend)")
         self.sim = sim
         self.registry = registry
         self.factory = factory
         self.charge_downtime = charge_downtime
+        self.durable = durable
+        self.backends = backends if backends is not None else {}
+        self.sync_on_restart = sync_on_restart
+        self.sync_timeout = sync_timeout
         self._snapshots: dict[str, tuple] = {}
+        self._crash_times: dict[str, float] = {}
+        self._recovered: list = []
         self.crashes = 0
         self.restarts = 0
         self.tuples_restored = 0
         self.tuples_reclaimed = 0
+
+    @property
+    def ghosts_purged(self) -> int:
+        """Tuples purged by anti-entropy rejoin across every incarnation.
+
+        Purges land asynchronously (when SYNC_RESPONSEs arrive), so this
+        sums the live counters of every instance this injector recovered
+        rather than sampling at restart time.
+        """
+        return sum(inst.ghosts_purged for inst in self._recovered)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -328,22 +360,57 @@ class CrashRestartInjector:
     # Immediate control
     # ------------------------------------------------------------------
     def crash(self, name: str) -> None:
-        """Take the instance down now, snapshotting its space first."""
+        """Take the instance down now.
+
+        In snapshot mode the space is snapshotted first (a polite
+        power-down); in durable mode nothing is — the process dies with
+        whatever its backend already made durable, and the backend is
+        detached so stale timers from the dead incarnation can no longer
+        log.
+        """
         from repro.tuples.persistence import snapshot_space
 
         instance = self.registry.get(name)
         if instance is None:
             return
-        snapshot = snapshot_space(instance.space)
-        self._snapshots[name] = (snapshot, self.sim.now)
+        if self.durable:
+            backend = self.backends.get(name)
+            if backend is not None:
+                backend.detach()
+            self._crash_times[name] = self.sim.now
+        else:
+            snapshot = snapshot_space(instance.space)
+            self._snapshots[name] = (snapshot, self.sim.now)
         instance.shutdown()
         del self.registry[name]
         self.crashes += 1
 
     def restart(self, name: str) -> None:
-        """Bring a crashed instance back, restoring its snapshot."""
+        """Bring a crashed instance back, restoring its snapshot.
+
+        In durable mode the replacement instance instead recovers from the
+        node's storage backend (WAL replay + anti-entropy rejoin).
+        """
         from repro.tuples.persistence import restore_space
 
+        if self.durable:
+            if name in self.registry or name not in self._crash_times:
+                return
+            crashed_at = self._crash_times.pop(name)
+            backend = self.backends[name]
+            instance = self.factory(name)
+            stats = instance.recover_from(
+                backend,
+                downtime=max(0.0, self.sim.now - crashed_at),
+                charge_downtime=self.charge_downtime,
+                sync=self.sync_on_restart,
+                sync_timeout=self.sync_timeout)
+            self.tuples_restored += stats.restored
+            self.tuples_reclaimed += stats.reclaimed
+            self._recovered.append(instance)
+            self.registry[name] = instance
+            self.restarts += 1
+            return
         stored = self._snapshots.pop(name, None)
         if stored is None or name in self.registry:
             return

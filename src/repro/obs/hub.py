@@ -338,6 +338,69 @@ class Observability:
             labels=("space",), buckets=DEFAULT_COUNT_BUCKETS)
         store.scan_observer = scan_hist.labels(space=name).observe
 
+    def observe_storage(self, backend, name: str) -> None:
+        """Durable-log accounting for one storage backend.
+
+        Registered only when a backend actually attaches to a space
+        (:meth:`~repro.tuples.storage.base.StorageBackend.attach`), so runs
+        that never opt into durability export a bit-identical registry.
+        """
+        reg = self.registry
+        key = id(backend)
+
+        def records():
+            yield (name, "out"), backend.records_out
+            yield (name, "remove"), backend.records_remove
+
+        reg.callback("storage_records_total", records,
+                     help="Durable records written, by space and kind.",
+                     labels=("space", "kind"), kind="counter", key=key)
+        reg.callback("storage_bytes_appended_total",
+                     lambda: [((name,), backend.bytes_appended)],
+                     help="Bytes appended to the durable log.",
+                     labels=("space",), kind="counter", key=key)
+
+        def maintenance():
+            yield (name, "compaction"), backend.compactions
+            yield (name, "recovery"), backend.recoveries
+            yield (name, "record_replayed"), backend.records_replayed
+            yield (name, "torn_truncation"), backend.torn_truncations
+
+        reg.callback("storage_maintenance_total", maintenance,
+                     help="Log maintenance events: compactions, recoveries, "
+                          "records replayed, torn tails truncated.",
+                     labels=("space", "event"), kind="counter", key=key)
+        reg.callback("storage_torn_bytes_total",
+                     lambda: [((name,), backend.torn_bytes)],
+                     help="Bytes discarded truncating torn log tails.",
+                     labels=("space",), kind="counter", key=key)
+
+    def observe_recovery(self, instance) -> None:
+        """Crash-recovery + anti-entropy rejoin accounting for one node.
+
+        Registered on a node's first durable recovery (never for nodes
+        that never recover), keeping default registries unchanged.
+        """
+        reg = self.registry
+        node = instance.name
+        key = ("recovery", id(instance))
+
+        def events():
+            yield (node, "recovery"), instance.recoveries
+            yield (node, "restored"), instance.tuples_restored
+            yield (node, "reclaimed"), instance.tuples_reclaimed
+            yield (node, "ghost_purged"), instance.ghosts_purged
+            yield (node, "rejoin_dropped"), instance.rejoin_dropped
+            yield (node, "sync_request_sent"), instance.sync_requests_sent
+            yield (node, "sync_response_sent"), instance.sync_responses_sent
+            yield (node, "rejoin_completed"), instance.rejoins_completed
+
+        reg.callback("recovery_events_total", events,
+                     help="Durable-recovery outcomes by node: tuples "
+                          "restored/reclaimed, ghosts purged by the "
+                          "anti-entropy rejoin, sync traffic.",
+                     labels=("node", "event"), kind="counter", key=key)
+
     def observe_instance(self, instance) -> None:
         """Wire one Tiamat instance's components into the registry."""
         node = instance.name

@@ -8,25 +8,66 @@ restore its space later — expiry deadlines are preserved *relative to the
 clock* (a tuple with 30 s of lease left at snapshot time has 30 s left at
 restore time, wherever the restoring clock stands).
 
-Snapshots are plain JSON-representable dicts; :func:`save_space` /
-:func:`load_space` add file I/O on top for the threaded runtime and any
-out-of-simulator use.
+Snapshots are plain JSON-representable dicts under either wire codec
+(``codec="json"`` stores the JSON list form, ``codec="binary"`` stores the
+LEB128 wire bytes hex-encoded); :func:`save_space` / :func:`load_space`
+add file I/O on top for the threaded runtime and any out-of-simulator use.
+The file write is atomic (temp file in the same directory + ``os.replace``)
+and the restore is all-or-nothing: a malformed entry anywhere in the
+snapshot deposits nothing.
+
+For durability against real process death — write-ahead logging, crash
+recovery, anti-entropy rejoin — see :mod:`repro.tuples.storage`.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 from repro.errors import SerializationError
-from repro.tuples.serialization import decode_tuple, encode_tuple
+from repro.tuples.model import Tuple
+from repro.tuples.serialization import (
+    decode_tuple,
+    decode_tuple_binary,
+    encode_tuple,
+    encode_tuple_binary,
+)
 from repro.tuples.space import LocalTupleSpace
 
 #: Snapshot format version, bumped on layout changes.
 SNAPSHOT_VERSION = 1
 
+#: How much of a bad snapshot's repr makes it into the error message.
+_ERR_REPR_LIMIT = 200
+
+
+def _short(value: object) -> str:
+    text = repr(value)
+    if len(text) > _ERR_REPR_LIMIT:
+        text = text[:_ERR_REPR_LIMIT] + "..."
+    return text
+
+
+def _encode_entry_tuple(tup: Tuple, codec: str) -> object:
+    if codec == "binary":
+        return encode_tuple_binary(tup).hex()
+    return encode_tuple(tup)
+
+
+def _decode_entry_tuple(data: object, codec: str) -> Tuple:
+    if codec == "binary":
+        if not isinstance(data, str):
+            raise SerializationError(
+                f"binary snapshot tuples must be hex strings: {_short(data)}")
+        return decode_tuple_binary(bytes.fromhex(data))
+    return decode_tuple(data)
+
 
 def snapshot_space(space: LocalTupleSpace,
-                   skip_tags: tuple = ("__space_info__",)) -> dict:
+                   skip_tags: tuple = ("__space_info__",),
+                   codec: str = "json") -> dict:
     """Capture a space's visible tuples and remaining lease times.
 
     Held entries (mid two-phase claim) are deliberately excluded: a claim
@@ -34,7 +75,13 @@ def snapshot_space(space: LocalTupleSpace,
     puts the logical state right.  Infrastructure tuples (first field in
     ``skip_tags``, by default the space-info tuple) are excluded too —
     the restoring instance maintains its own.
+
+    ``codec`` selects the tuple encoding: ``"json"`` (the default, and
+    the pre-PR-6 format) or ``"binary"`` (LEB128 wire bytes, hex-encoded
+    so the snapshot stays a JSON-representable dict).
     """
+    if codec not in ("json", "binary"):
+        raise SerializationError(f"unknown snapshot codec {codec!r}")
     now = space.sim.now
     entries = []
     for entry in sorted(space.store, key=lambda e: e.entry_id):
@@ -44,46 +91,85 @@ def snapshot_space(space: LocalTupleSpace,
             continue
         expires_at = entry.meta.get("expires_at")
         remaining = None if expires_at is None else max(0.0, expires_at - now)
-        entries.append({
-            "tuple": encode_tuple(entry.tuple),
+        item = {
+            "tuple": _encode_entry_tuple(entry.tuple, codec),
             "remaining": remaining,
-        })
-    return {
+        }
+        durable_id = entry.meta.get("durable_id")
+        if durable_id is not None:
+            item["durable_id"] = durable_id
+        entries.append(item)
+    snapshot = {
         "version": SNAPSHOT_VERSION,
         "name": space.name,
         "entries": entries,
     }
+    if codec != "json":
+        snapshot["codec"] = codec
+    return snapshot
 
 
 def restore_space(space: LocalTupleSpace, snapshot: dict) -> int:
-    """Deposit a snapshot's tuples into ``space``; returns the count.
+    """Restore a snapshot's tuples into ``space``; returns the count.
 
-    Remaining lease times are re-anchored to the restoring clock.  Raises
-    :class:`SerializationError` on malformed snapshots.
+    All-or-nothing: the entire snapshot is decoded and validated before
+    anything is deposited, so a malformed entry mid-stream can never
+    leave the space half-restored.  Remaining lease times are re-anchored
+    to the restoring clock.  Restored entries enter through
+    :meth:`~repro.tuples.space.LocalTupleSpace.restore_entry` (a restore
+    is not a deposit).  Raises :class:`SerializationError` on malformed
+    snapshots.
     """
     if not isinstance(snapshot, dict) or snapshot.get("version") != SNAPSHOT_VERSION:
-        raise SerializationError(f"unsupported snapshot: {snapshot!r}")
+        raise SerializationError(f"unsupported snapshot: {_short(snapshot)}")
+    codec = snapshot.get("codec", "json")
+    if codec not in ("json", "binary"):
+        raise SerializationError(f"unsupported snapshot codec: {_short(codec)}")
     now = space.sim.now
-    restored = 0
+    decoded = []
     try:
         for item in snapshot["entries"]:
-            tup = decode_tuple(item["tuple"])
+            tup = _decode_entry_tuple(item["tuple"], codec)
             remaining = item.get("remaining")
             expires_at = None if remaining is None else now + float(remaining)
-            space.out(tup, expires_at=expires_at)
-            restored += 1
+            meta = None
+            durable_id = item.get("durable_id")
+            if durable_id is not None:
+                meta = {"durable_id": durable_id}
+            decoded.append((tup, expires_at, meta))
     except SerializationError:
         raise
     except Exception as exc:
         raise SerializationError(f"malformed snapshot: {exc}") from exc
-    return restored
+    for tup, expires_at, meta in decoded:
+        space.restore_entry(tup, expires_at=expires_at, meta=meta)
+    return len(decoded)
 
 
-def save_space(space: LocalTupleSpace, path: str) -> int:
-    """Snapshot ``space`` to a JSON file; returns the entry count."""
-    snapshot = snapshot_space(space)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(snapshot, handle, separators=(",", ":"))
+def save_space(space: LocalTupleSpace, path: str, codec: str = "json") -> int:
+    """Snapshot ``space`` to a JSON file; returns the entry count.
+
+    The write is atomic: the snapshot lands in a temp file in the target
+    directory and is renamed into place with ``os.replace``, so a crash
+    mid-dump leaves either the previous file or the complete new one,
+    never a truncated hybrid.
+    """
+    snapshot = snapshot_space(space, codec=codec)
+    data = json.dumps(snapshot, separators=(",", ":"))
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(prefix=".tmp-snapshot-", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return len(snapshot["entries"])
 
 

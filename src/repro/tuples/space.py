@@ -87,6 +87,7 @@ class LocalTupleSpace:
         self.deposits = 0
         self.expirations = 0
         self.consumed = 0
+        self.restores = 0
         sim.obs.observe_space(self, name)
 
     # ------------------------------------------------------------------
@@ -99,7 +100,9 @@ class LocalTupleSpace:
     def on_removed(self, callback: Callable[[StoredEntry, str], None]) -> None:
         """Register a callback invoked after any removal.
 
-        ``reason`` is one of ``"consumed"``, ``"expired"``.
+        ``reason`` is one of ``"consumed"``, ``"expired"``, or
+        ``"reconciled"`` (an anti-entropy rejoin purged a restored entry
+        that a peer consumed during the downtime).
         """
         self._on_removed.append(callback)
 
@@ -138,6 +141,46 @@ class LocalTupleSpace:
             self.sim.schedule_at(expires_at, self._expire, entry.entry_id)
         for callback in self._on_out:
             callback(entry)
+        return entry
+
+    def restore_entry(self, tup: Tuple, expires_at: Optional[float] = None,
+                      meta: Optional[dict] = None,
+                      quarantine: bool = False,
+                      entry_id: Optional[int] = None) -> StoredEntry:
+        """Re-insert a tuple that survived a snapshot or crash recovery.
+
+        A restore is *not* a deposit: it emits a ``space.restore`` probe
+        (never ``space.deposit``), so the checker's exactly-once oracle
+        still counts the tuple's one original deposit — a resurrected
+        ghost consumed a second time is a violation, exactly as it should
+        be.  ``on_out`` listeners are not notified either (a recovering
+        backend re-anchors itself explicitly via ``rebind``).
+
+        With ``quarantine=True`` the entry is re-inserted *held* —
+        invisible to every query — until the anti-entropy rejoin releases
+        it (or purges it as a ghost).  Without it, the tuple is offered
+        to pending waiters like any arrival.  ``entry_id`` pins the store
+        id (durable recovery keeps a tuple's original identity, so peer
+        witness records stay valid across incarnations).
+        """
+        meta = dict(meta or {})
+        if expires_at is not None:
+            meta["expires_at"] = expires_at
+        self.restores += 1
+        if probes.SINK is not None:
+            probes.emit("space.restore", space=self.name, tup=tup)
+        if not quarantine:
+            consumed = self._offer_to_waiters(tup)
+            if consumed:
+                entry = StoredEntry(0, tup, meta)
+                entry.removed = True
+                self.consumed += 1
+                return entry
+        entry = self.store.add(tup, meta, entry_id=entry_id)
+        if quarantine:
+            self.store.hold(entry.entry_id)
+        if expires_at is not None:
+            self.sim.schedule_at(expires_at, self._expire, entry.entry_id)
         return entry
 
     def rdp(self, pattern: Pattern) -> Optional[Tuple]:

@@ -103,10 +103,31 @@ class TupleStore:
     # ------------------------------------------------------------------
     # Insertion / removal
     # ------------------------------------------------------------------
-    def add(self, tup: Tuple, meta: Optional[dict] = None) -> StoredEntry:
-        """Insert a tuple; returns its entry (ids are unique per store)."""
+    def bump_ids(self, floor: int) -> None:
+        """Ensure every future entry id is greater than ``floor``.
+
+        Durable recovery calls this before restoring, so entry ids stay
+        globally unique across a node's incarnations: peers witness
+        consumed ids for the anti-entropy rejoin, and a reused id could
+        let a stale witness purge an innocent survivor.
+        """
+        self._ids = itertools.count(max(next(self._ids), floor + 1))
+
+    def add(self, tup: Tuple, meta: Optional[dict] = None,
+            entry_id: Optional[int] = None) -> StoredEntry:
+        """Insert a tuple; returns its entry (ids are unique per store).
+
+        ``entry_id`` pins the id instead of drawing from the counter —
+        durable recovery restores entries under their *original* ids
+        (after :meth:`bump_ids`), so a tuple's identity survives its
+        node's death and peers' witness records stay valid.
+        """
         self._version += 1
-        entry = StoredEntry(next(self._ids), tup, meta)
+        if entry_id is None:
+            entry_id = next(self._ids)
+        elif entry_id in self._entries:
+            raise TupleError(f"entry id #{entry_id} already in store")
+        entry = StoredEntry(entry_id, tup, meta)
         self._entries[entry.entry_id] = entry
         self._by_arity.setdefault(tup.arity, {})[entry.entry_id] = entry
         for pos, value in enumerate(tup.fields):

@@ -69,6 +69,7 @@ def test_all_kinds_is_complete_and_unique():
         protocol.CANCEL, protocol.CLAIM_ACCEPT, protocol.CLAIM_REJECT,
         protocol.REMOTE_OUT, protocol.REMOTE_OUT_ACK, protocol.RELAY_OUT,
         protocol.REL_ACK,
+        protocol.SYNC_REQUEST, protocol.SYNC_RESPONSE,
     ]
     assert len(kinds) == len(set(kinds))
     assert protocol.ALL_KINDS == frozenset(kinds)
@@ -83,3 +84,5 @@ def test_kind_strings_are_stable():
     assert protocol.CLAIM_REJECT == "claim_reject"
     assert protocol.DISCOVER == "discover"
     assert protocol.REMOTE_OUT == "remote_out"
+    assert protocol.SYNC_REQUEST == "sync_request"
+    assert protocol.SYNC_RESPONSE == "sync_response"

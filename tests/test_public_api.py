@@ -26,6 +26,7 @@ import repro.obs
 import repro.runtime
 import repro.sim
 import repro.tuples
+import repro.tuples.storage
 
 # ---------------------------------------------------------------------------
 # 1. Exported names, pinned exactly.
@@ -65,6 +66,12 @@ EXPECTED_TUPLES = {
     "save_space", "snapshot_space",
 }
 
+EXPECTED_STORAGE = {
+    "DEFAULT_SKIP_TAGS", "MemoryBackend", "MemoryFS", "OsFS",
+    "RecoveredState", "RecoveryStats", "SqliteBackend", "StorageBackend",
+    "WALBackend", "attach_backend", "inspect_wal",
+}
+
 EXPECTED_LEASING = {
     "AcceptAnythingRequester", "AdaptivePolicy", "ConservativePolicy",
     "DenyAllPolicy", "GenerousPolicy", "GrantPolicy", "Lease",
@@ -96,6 +103,7 @@ EXPECTED_OBS = {
     (repro.runtime, EXPECTED_RUNTIME),
     (repro.sim, EXPECTED_SIM),
     (repro.tuples, EXPECTED_TUPLES),
+    (repro.tuples.storage, EXPECTED_STORAGE),
     (repro.leasing, EXPECTED_LEASING),
     (repro.net, EXPECTED_NET),
     (repro.obs, EXPECTED_OBS),
