@@ -1,13 +1,15 @@
 """Micro-benchmark measurement + regression-gate logic (``repro.perf``).
 
 This module is the single source of truth for the repo's performance
-trajectory.  It measures three hot paths:
+trajectory.  It measures four hot paths:
 
 * **codec** — encode+decode round-trip ns/op for the tag-first JSON codec
   and the compact binary codec, over a representative tuple mix (nested
   tuples, bytes fields, unicode strings, big ints);
 * **store scan** — ns per ``find`` against a populated store, both uncached
   (cache cleared between calls) and cached (repeat query, unchanged store);
+* **flight append** — amortised ns per flight-recorder ring append
+  (``repro.obs.flight``), the per-event tax of the always-on black box;
 * **wire** — frames/op and bytes/op for the T1 MRU probe workload (the
   paper's §3.1.3 cached-visibility scenario) under the *baseline* wire
   configuration (JSON, one frame per send, dedicated acks) and the *fast*
@@ -210,6 +212,29 @@ def run_mru_workload(fast: bool, seed: int = 4, n_peers: int = 8,
     }
 
 
+def measure_flight(slowdown: int = 1) -> dict:
+    """Amortised ns per flight-ring append (the always-on recorder tax).
+
+    The acceptance bar is "cheap enough to leave on": one append is index
+    arithmetic plus six list stores.  Timed as bursts of 64 appends —
+    enough to cycle the ring through wraparound — and reported per
+    append.
+    """
+    from repro.obs.flight import FlightRing
+
+    ring = FlightRing("bench", capacity=256)
+    burst = 64
+
+    def appends():
+        append = ring.append
+        for i in range(burst):
+            append(1.5, "send", "a#1", "query", "peer", None)
+
+    return {
+        "flight_append_ns": bench_ns(appends, slowdown=slowdown) / burst,
+    }
+
+
 def measure_wire() -> dict:
     """Baseline vs fast wire configuration on the T1 MRU workload."""
     base = run_mru_workload(fast=False)
@@ -231,6 +256,7 @@ def collect(slowdown: int = 1) -> dict:
     metrics: dict = {}
     metrics.update(measure_codec(slowdown=slowdown))
     metrics.update(measure_scan(slowdown=slowdown))
+    metrics.update(measure_flight(slowdown=slowdown))
     metrics.update(measure_wire())
     return metrics
 

@@ -58,6 +58,18 @@ class Violation:
                 f"{self.detail}>")
 
 
+def _is_telemetry(tup: Any) -> bool:
+    """Whether a probe's tuple is an in-space telemetry health row.
+
+    Telemetry rows (:mod:`repro.obs.telemetry`) are deposited under short
+    leases and reclaimed by expiry without a matching consume; the
+    exactly-once claim is about *application* tuples, so they are skipped
+    (mirroring the durable backends' skip-tag list).
+    """
+    fields = getattr(tup, "fields", None)
+    return bool(fields) and fields[0] == "_telemetry"
+
+
 class Oracle:
     """Base class: sees every probe event; reports via ``fail``."""
 
@@ -92,9 +104,13 @@ class ExactlyOnceOracle(Oracle):
     def on_event(self, event: str, fields: Dict[str, Any]) -> None:
         if event == "space.deposit":
             tup = fields["tup"]
+            if _is_telemetry(tup):
+                return  # leased health rows are operational, not app state
             self._deposited[tup] = self._deposited.get(tup, 0) + 1
         elif event == "space.consume":
             tup = fields["tup"]
+            if _is_telemetry(tup):
+                return
             count = self._consumed.get(tup, 0) + 1
             self._consumed[tup] = count
             if count > self._deposited.get(tup, 0):
@@ -258,6 +274,11 @@ class InvariantMonitor:
         self.stop_on_violation = stop_on_violation
         self.violations: List[Violation] = []
         self.events_seen = 0
+        #: The flight-recorder black box captured at the first violation
+        #: (None until one fires, or when the recorder is disabled).
+        self.flight_dump: Optional[Dict[str, Any]] = None
+        #: Path the black box was written to (``$REPRO_FLIGHT_DIR`` set).
+        self.flight_dump_path: Optional[str] = None
 
     # -- sink protocol --------------------------------------------------
     @property
@@ -279,8 +300,23 @@ class InvariantMonitor:
 
     def record(self, violation: Violation) -> None:
         self.violations.append(violation)
+        if self.sim is not None and self.flight_dump is None:
+            self._capture_flight(violation)
         if self.stop_on_violation and self.sim is not None:
             self.sim.stop()
+
+    def _capture_flight(self, violation: Violation) -> None:
+        """Snapshot every node's flight ring at the first violation."""
+        from repro.obs.flight import dump_to_env_dir
+
+        recorder = self.sim.obs.flight
+        if not recorder.enabled:
+            return
+        detail = violation.to_dict()
+        self.flight_dump = recorder.dump(
+            f"violation:{violation.oracle}", detail=detail)
+        self.flight_dump_path = dump_to_env_dir(
+            recorder, f"violation-{violation.oracle}", detail=detail)
 
     def finish(self) -> None:
         """Run every oracle's final-state sweep (after the run loop)."""

@@ -11,6 +11,9 @@
     python -m repro.cli wal inspect /tmp/chaos-wal/server.wal
     python -m repro.cli overload --clients 8 --duration 12
     python -m repro.cli stats --nodes 8 --duration 30 --format prom
+    python -m repro.cli flight dump --loss 0.2 --out flight.json
+    python -m repro.cli flight show flight.json --last 40
+    python -m repro.cli top --nodes 6 --duration 20 --once
 
 Subcommands:
 
@@ -44,6 +47,17 @@ Subcommands:
     Run the standard workload on a Tiamat cluster and dump the full
     metrics registry (Prometheus text or JSON), optionally with the
     kernel's per-handler profile (``--profile``).
+``flight``
+    The flight recorder's black boxes (``repro.obs.flight``):
+    ``flight dump`` runs a lossy scenario and writes every node's ring
+    to JSON; ``flight show PATH`` renders a dump as a per-node (or
+    ``--op``-merged) waterfall.
+``top``
+    In-space cluster telemetry: runs a cluster with leased
+    ``("_telemetry", ...)`` health rows enabled and renders the
+    collector's ok/degraded/overloaded/partitioned table, on the
+    simulator (default) or the real-thread runtime (``--runtime
+    threads``).
 """
 
 from __future__ import annotations
@@ -139,6 +153,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """Print the protocol timeline + causal span tree of one distributed in()."""
+    if args.runtime == "threads":
+        return _cmd_trace_threads(args)
     sim = Simulator(seed=args.seed)
     net = Network(sim, loss_rate=args.loss)
     a = TiamatInstance(sim, net, "a")
@@ -161,6 +177,140 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"\nchrome trace written to {args.chrome} "
               "(load in Perfetto or chrome://tracing)")
     return 0
+
+
+def _cmd_trace_threads(args: argparse.Namespace) -> int:
+    """Trace one blocking take on the real-thread runtime (wall clock)."""
+    from repro.runtime import ThreadedNodeRegistry, ThreadedTiamatNode
+
+    registry = ThreadedNodeRegistry()
+    a = ThreadedTiamatNode(registry, "a")
+    b = ThreadedTiamatNode(registry, "b")
+    ThreadedTiamatNode(registry, "c")
+    for pair in (("a", "b"), ("a", "c"), ("b", "c")):
+        registry.set_visible(*pair)
+    tracer = registry.obs.start_trace()
+    b.out(Tuple("target", 1))
+    result = a.in_(Pattern("target", int), timeout=2.0)
+    op_id = next(oid for oid in reversed(tracer.op_ids())
+                 if oid.startswith("a@"))
+    print(f"a consumed {result} (wall-clock timestamps)\n")
+    print(tracer.waterfall(op_id))
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            fh.write(tracer.chrome_trace(op_id))
+        print(f"\nchrome trace written to {args.chrome} "
+              "(load in Perfetto or chrome://tracing)")
+    return 0
+
+
+def cmd_flight(args: argparse.Namespace) -> int:
+    """Flight-recorder tooling: dump a black box, or render one."""
+    from repro.obs.flight import load_flight_dump, render_flight
+
+    if args.flight_command == "show":
+        box = load_flight_dump(args.path)
+        print(render_flight(box, op_id=args.op, last=args.last))
+        return 0
+
+    # flight dump: run a self-contained lossy scenario so the rings have
+    # something worth keeping — retransmits, drops, op lifecycles — then
+    # write every node's black box to JSON.
+    sim = Simulator(seed=args.seed)
+    net = Network(sim, loss_rate=args.loss)
+    instances = {name: TiamatInstance(sim, net, name)
+                 for name in ("a", "b", "c")}
+    net.visibility.connect_clique(["a", "b", "c"])
+    for i in range(args.ops):
+        instances["b" if i % 2 == 0 else "c"].out(Tuple("item", i))
+    outcomes: list = []
+
+    def driver():
+        client = instances["a"]
+        for i in range(args.ops):
+            op = client.in_(Pattern("item", i),
+                            requester=SimpleLeaseRequester(
+                                LeaseTerms(duration=6.0)))
+            result = yield op.event
+            outcomes.append(result)
+            yield sim.timeout(0.3)
+
+    sim.spawn(driver())
+    sim.run(until=60.0)
+    path = sim.obs.flight.dump_to(
+        args.out, "cli", detail={"seed": args.seed, "loss": args.loss})
+    satisfied = sum(1 for result in outcomes if result is not None)
+    print(f"ran {len(outcomes)} distributed in ops ({satisfied} satisfied) "
+          f"at loss={args.loss}")
+    print(f"flight dump written to {path}")
+    print(f"render it with: python -m repro.cli flight show {path}")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Cluster health table from the in-space telemetry rows."""
+    from repro.obs.telemetry import collect_cluster_health, render_top
+
+    if args.runtime == "threads":
+        return _cmd_top_threads(args)
+    config = TiamatConfig(telemetry_enabled=True)
+    sim, network, nodes = build_system("tiamat", args.nodes, seed=args.seed,
+                                       config=config)
+    sim.run(until=2.0)
+    workload = RequestResponseWorkload(sim, nodes, sim.rng("cli"),
+                                       period=1.5, op_timeout=6.0)
+    workload.start(duration=args.duration)
+    spaces = [adapter.instance.space for adapter in nodes.values()]
+    expected = sorted(nodes)
+    frames = 1 if args.once else max(1, int(args.duration / args.refresh))
+    step = args.duration / frames
+    for frame in range(frames):
+        sim.run(until=sim.now + step)
+        health = collect_cluster_health(
+            spaces, now=sim.now, period=config.telemetry_period,
+            expected=expected)
+        if frame:
+            print()
+        print(render_top(health, sim.now,
+                         title=f"sim seed={args.seed}"))
+    return 0
+
+
+def _cmd_top_threads(args: argparse.Namespace) -> int:
+    """Cluster health over the real-thread runtime (wall clock)."""
+    import time
+
+    from repro.obs.telemetry import render_top
+    from repro.runtime import ThreadedNodeRegistry, ThreadedTiamatNode
+
+    period = 0.2
+    registry = ThreadedNodeRegistry()
+    names = [f"n{i}" for i in range(args.nodes)]
+    nodes = [ThreadedTiamatNode(registry, name) for name in names]
+    for i, left in enumerate(names):
+        for right in names[i + 1:]:
+            registry.set_visible(left, right)
+    for node in nodes:
+        node.start_telemetry(period=period)
+    try:
+        # a dab of traffic so the windowed counters are non-zero
+        for i, node in enumerate(nodes):
+            node.out(Tuple("warm", i))
+            node.rdp(Pattern("warm", int))
+        deadline = time.monotonic() + args.duration
+        first = True
+        while True:
+            time.sleep(2 * period)
+            health = registry.cluster_health(period=period)
+            if not first:
+                print()
+            first = False
+            print(render_top(health, time.monotonic(), title="threads"))
+            if args.once or time.monotonic() >= deadline:
+                return 0
+    finally:
+        for node in nodes:
+            node.stop_telemetry()
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -458,9 +608,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="protocol timeline + span tree of one distributed in()")
     trace.add_argument("--loss", type=float, default=0.0,
-                       help="i.i.d. frame loss rate (default 0)")
+                       help="i.i.d. frame loss rate (default 0, sim only)")
     trace.add_argument("--chrome", metavar="PATH", default=None,
                        help="write Chrome trace-event JSON to PATH")
+    trace.add_argument("--runtime", choices=("sim", "threads"),
+                       default="sim",
+                       help="simulated protocol (default) or the "
+                            "real-thread runtime with wall-clock spans")
 
     chaos = sub.add_parser("chaos", help="scripted fault-injection scenario")
     chaos.add_argument("--items", type=int, default=6,
@@ -526,6 +680,37 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
 
+    flight = sub.add_parser(
+        "flight", help="flight-recorder black boxes (dump + waterfall)")
+    flight_sub = flight.add_subparsers(dest="flight_command", required=True)
+    flight_dump = flight_sub.add_parser(
+        "dump", help="run a lossy scenario and dump every node's ring")
+    flight_dump.add_argument("--out", default="flight.json",
+                             help="dump path (default flight.json)")
+    flight_dump.add_argument("--loss", type=float, default=0.15,
+                             help="i.i.d. frame loss rate (default 0.15)")
+    flight_dump.add_argument("--ops", type=int, default=8,
+                             help="distributed in ops to run (default 8)")
+    flight_show = flight_sub.add_parser(
+        "show", help="render a flight dump as a text waterfall")
+    flight_show.add_argument("path", help="flight dump JSON path")
+    flight_show.add_argument("--op", default=None, metavar="OP_ID",
+                             help="merge all nodes' events for one op id")
+    flight_show.add_argument("--last", type=int, default=None, metavar="N",
+                             help="show only the last N events per section")
+
+    top = sub.add_parser(
+        "top", help="cluster health from the in-space telemetry rows")
+    top.add_argument("--nodes", type=int, default=6)
+    top.add_argument("--duration", type=float, default=20.0,
+                     help="run length in (sim or wall) seconds (default 20)")
+    top.add_argument("--refresh", type=float, default=5.0,
+                     help="seconds between table redraws (default 5)")
+    top.add_argument("--once", action="store_true",
+                     help="print a single table and exit")
+    top.add_argument("--runtime", choices=("sim", "threads"), default="sim",
+                     help="simulated cluster (default) or real threads")
+
     differential = sub.add_parser(
         "differential",
         help="sim vs threaded runtime conformance (scripted workloads)")
@@ -548,6 +733,8 @@ _COMMANDS = {
     "check": cmd_check,
     "differential": cmd_differential,
     "wal": cmd_wal,
+    "flight": cmd_flight,
+    "top": cmd_top,
 }
 
 

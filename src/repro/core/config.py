@@ -135,6 +135,18 @@ class TiamatConfig:
         exponential backoff (+ jitter, honouring the hint) instead of
         writing the peer off.  Only admission-enabled servers send hints,
         so this is inert against uncontrolled peers.
+    telemetry_enabled:
+        Whether this instance periodically ``out``s a leased
+        ``("_telemetry", node, epoch, payload)`` health row into its own
+        space (see :mod:`repro.obs.telemetry` and ``repro top``).  Off by
+        default: the publisher schedules events and negotiates leases, so
+        it perturbs seeded schedules.
+    telemetry_period:
+        Seconds between telemetry beats.
+    telemetry_lease:
+        Requested lease duration for each health row; a dead node's rows
+        expire (and are reclaimed by the space) this long after its last
+        beat.
     """
 
     propagate_mode: str = "start"
@@ -163,6 +175,9 @@ class TiamatConfig:
     admission_burst: float = 0.25
     admission_retry_floor: float = 0.05
     backoff_on_refusal: bool = True
+    telemetry_enabled: bool = False
+    telemetry_period: float = 1.0
+    telemetry_lease: float = 2.5
 
     def __post_init__(self) -> None:
         if self.propagate_mode not in ("start", "continuous"):
@@ -183,6 +198,10 @@ class TiamatConfig:
             raise ValueError("admission_queue_bound must be >= 1")
         if self.admission_price_curve <= 0:
             raise ValueError("admission_price_curve must be > 0")
+        if self.telemetry_period <= 0:
+            raise ValueError("telemetry_period must be > 0")
+        if self.telemetry_lease <= 0:
+            raise ValueError("telemetry_lease must be > 0")
 
     def default_terms(self, kind: OperationKind) -> LeaseTerms:
         """The default lease request for an operation kind."""

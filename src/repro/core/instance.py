@@ -154,6 +154,15 @@ class TiamatInstance:
         self.rejoins_completed = 0
         self._recovery_observed = False
         sim.obs.observe_instance(self)
+        # The node's black box: a preallocated ring of recent protocol
+        # activity (repro.obs.flight), appended to directly from the hot
+        # paths below and in serving/reliability.
+        self.flight_ring = sim.obs.flight.ring(name)
+        self._telemetry = None
+        if self.config.telemetry_enabled:
+            from repro.obs.telemetry import TelemetryPublisher
+
+            self._telemetry = TelemetryPublisher(self).start()
 
     # ==================================================================
     # Application API: the six operations on the logical space
@@ -331,6 +340,8 @@ class TiamatInstance:
         except LeaseError:
             if tracer is not None:
                 tracer.lease_event(None, self.name, "refused", op=kind.value)
+            self.flight_ring.append(self.sim.now, "lease_refused", None,
+                                    kind.value)
             raise
         op = Operation(self, kind, pattern, lease)
         if target is not None:
@@ -341,6 +352,8 @@ class TiamatInstance:
             tracer.op_started(op.op_id, self.name, kind.value,
                               target=target,
                               lease_expires=lease.expires_at)
+        self.flight_ring.append(self.sim.now, "op_start", op.op_id,
+                                kind.value, target)
         op.start()
         return op
 
@@ -621,6 +634,14 @@ class TiamatInstance:
         if not self._recovery_observed:
             self._recovery_observed = True
             self.sim.obs.observe_recovery(self)
+        self.flight_ring.append(
+            now, "recover", None, None, None,
+            f"restored={restored} reclaimed={reclaimed}")
+        from repro.obs.flight import dump_to_env_dir
+
+        dump_to_env_dir(self.sim.obs.flight, f"recover-{self.name}",
+                        detail={"node": self.name, "restored": restored,
+                                "reclaimed": reclaimed, "downtime": downtime})
         if sync:
             timeout = (sync_timeout if sync_timeout is not None
                        else 2 * self.config.peer_timeout)
@@ -719,6 +740,8 @@ class TiamatInstance:
         if self._detached:
             return
         self._detached = True
+        if self._telemetry is not None:
+            self._telemetry.stop()
         if self._rejoin_timer is not None:
             self._rejoin_timer.cancel()
             self._rejoin_timer = None

@@ -49,6 +49,7 @@ class Operation:
         self.pattern = pattern
         self.lease = lease
         self.op_id = f"{instance.name}#{next(_op_seq)}"
+        self.started_at: float = instance.sim.now
         self.target: Optional[str] = None  # set for handle-directed variants
         self.event: Event = instance.sim.event()
         self.done = False
@@ -139,10 +140,16 @@ class Operation:
                 self.instance.send(peer, {"kind": protocol.CANCEL, "op_id": self.op_id})
         if self.lease.active:
             self.lease.release()
-        tracer = self.instance.sim.obs.tracer
-        if tracer is not None:
-            tracer.op_finished(self.op_id, self.instance.name,
-                               result is not None, source)
+        obs = self.instance.sim.obs
+        if obs.tracer is not None:
+            obs.tracer.op_finished(self.op_id, self.instance.name,
+                                   result is not None, source)
+        now = self.instance.sim.now
+        self.instance.flight_ring.append(
+            now, "op_end", self.op_id, self.kind.value, source,
+            "ok" if result is not None else "miss")
+        obs.slo.record(self.kind.value, now - self.started_at, self.op_id,
+                       self.instance.name, ring=self.instance.flight_ring)
         self.event.succeed(result)
         self.instance._operation_finished(self)
 

@@ -181,11 +181,19 @@ class ReliableChannel:
         if (pending.peer, pending.seq) not in self._pending:
             return  # acked in the meantime
         self.retransmits += 1
+        self.instance.flight_ring.append(
+            self.instance.sim.now, "retransmit",
+            pending.payload.get("op_id"), pending.payload.get("kind"),
+            pending.peer, pending.seq)
         self._transmit(pending)
 
     def _give_up(self, pending: PendingFrame) -> None:
         if self._pending.pop((pending.peer, pending.seq), None) is not None:
             self.expired += 1
+            self.instance.flight_ring.append(
+                self.instance.sim.now, "rexpire",
+                pending.payload.get("op_id"), pending.payload.get("kind"),
+                pending.peer, pending.seq)
 
     # ------------------------------------------------------------------
     # Receiving

@@ -141,6 +141,9 @@ class QueryServer:
                 if tracer is not None:
                     tracer.lease_event(op_id, self.instance.name, "shed",
                                        reason=decision.reason)
+                self.instance.flight_ring.append(
+                    self.instance.sim.now, "shed", op_id,
+                    payload.get("op"), origin, decision.reason)
                 self._refuse(origin, op_id, decision.reason,
                              decision.retry_after)
                 return
@@ -217,6 +220,9 @@ class QueryServer:
             if tracer is not None:
                 tracer.lease_event(op_id, self.instance.name, "refused",
                                    reason=REFUSE_SERVING_LEASE)
+            self.instance.flight_ring.append(
+                self.instance.sim.now, "refuse", op_id, kind.value,
+                origin, REFUSE_SERVING_LEASE)
             self._refuse(origin, op_id, REFUSE_SERVING_LEASE, retry_hint)
             return
         # Serving consumes a worker thread, allocated through the lease
@@ -228,6 +234,9 @@ class QueryServer:
             if tracer is not None:
                 tracer.lease_event(op_id, self.instance.name, "refused",
                                    reason=REFUSE_THREADS)
+            self.instance.flight_ring.append(
+                self.instance.sim.now, "refuse", op_id, kind.value,
+                origin, REFUSE_THREADS)
             self._refuse(origin, op_id, REFUSE_THREADS, retry_hint)
             return
         self.served += 1

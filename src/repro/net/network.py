@@ -162,6 +162,9 @@ class Network:
         factory = latency_factory if latency_factory is not None else default_latency()
         self._latency: LatencyModel = factory(self)
         sim.obs.observe_network(self)
+        # The always-on flight recorder (repro.obs.flight): sends/drops
+        # land on the source node's ring, deliveries on the destination's.
+        self._flight = sim.obs.flight
 
     # ------------------------------------------------------------------
     # Attachment
@@ -218,7 +221,8 @@ class Network:
 
     def _drop(self, message: Message, reason: str) -> None:
         self.stats.record_drop(message.src, reason=reason)
-        if not self._drop_listeners:
+        flight = self._flight
+        if not self._drop_listeners and not flight.enabled:
             return
         frames = message.payload.get("frames") if message.is_batch else None
         if frames:
@@ -226,12 +230,14 @@ class Network:
             # envelope itself: tracers reason about per-operation frames.
             for payload in frames:
                 sub = Message.sub_frame(message, payload)
+                flight.frame("drop", sub, reason)
                 for listener in list(self._drop_listeners):
                     listener(sub, reason)
             return
         # Plain frame — or a batch envelope damaged beyond recognition
         # (corruption garbles the payload, so the logical frames are
         # unrecoverable): report the physical frame once.
+        flight.frame("drop", message, reason)
         for listener in list(self._drop_listeners):
             listener(message, reason)
 
@@ -280,6 +286,7 @@ class Network:
         queue.append(message)
         if self._frame_listeners:
             self._notify_frame("send", message)
+        self._flight.frame("send", message)
         return True
 
     def _flush_batch(self, key: tuple) -> None:
@@ -315,8 +322,10 @@ class Network:
         ``notify`` is False for frames whose ``send`` notification already
         happened at enqueue time (the batching path).
         """
-        if notify and self._frame_listeners:
-            self._notify_frame("send", message)
+        if notify:
+            if self._frame_listeners:
+                self._notify_frame("send", message)
+            self._flight.frame("send", message)
         if self._lost():
             self._drop(message, DROP_LOSS)
             return False  # silently lost in flight
@@ -360,10 +369,12 @@ class Network:
                 sub = Message.sub_frame(message, payload)
                 if self._frame_listeners:
                     self._notify_frame("deliver", sub)
+                self._flight.frame("deliver", sub)
                 handler(sub)
             return
         if self._frame_listeners:
             self._notify_frame("deliver", message)
+        self._flight.frame("deliver", message)
         handler(message)
 
     def _lost(self) -> bool:

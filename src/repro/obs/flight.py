@@ -1,0 +1,318 @@
+"""Always-on flight recorder: fixed-size per-node ring buffers.
+
+Every node keeps a small "black box" of its most recent protocol
+activity — frames sent/delivered/dropped, operation lifecycle,
+lease/admission verdicts, reliability retransmits.  Recording is
+passive by construction: an append is index arithmetic plus six field
+stores into preallocated slots, never allocates, never touches the
+simulator's RNG, and never schedules events, so seeded runs are
+bit-identical with the recorder enabled (the default) or disabled
+(``REPRO_FLIGHT=off``).
+
+The rings pay for themselves when something goes wrong: a dump is
+taken when :class:`repro.check.oracles.InvariantMonitor` records a
+violation, when :meth:`TiamatInstance.recover_from` runs after a
+crash, or on demand (``repro flight dump``).  Dumps are plain JSON and
+``repro flight show`` renders them as a Tracer-style waterfall.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "FLIGHT_DUMP_VERSION",
+    "FlightRecorder",
+    "FlightRing",
+    "dump_to_env_dir",
+    "load_flight_dump",
+    "render_flight",
+]
+
+FLIGHT_DUMP_VERSION = 1
+
+#: Default slots per node ring.  Must comfortably exceed the 64-event
+#: post-mortem window the acceptance criteria call for.
+DEFAULT_CAPACITY = 512
+
+# Event codes recorded in the rings.  Kept as short strings (interned
+# literals at every call site) so appends store references, not copies.
+#   send / deliver / drop  — logical frame lifecycle (network layer)
+#   op_start / op_end      — operation lifecycle (ops layer)
+#   lease_refused / shed / refuse — admission & serving verdicts
+#   retransmit / rexpire   — reliable-channel retries and give-ups
+#   slo_breach             — SLO burn-rate breach (repro.obs.slo)
+#   recover / note         — recovery bookmarks and free-form marks
+
+_GLYPHS = {
+    "send": "→",          # →
+    "deliver": "✓",       # ✓
+    "drop": "✗",          # ✗
+    "retransmit": "↻",    # ↻
+    "rexpire": "✕",       # ✕
+    "op_start": "▶",      # ▶
+    "op_end": "■",        # ■
+    "lease_refused": "§", # §
+    "shed": "§",
+    "refuse": "§",
+    "slo_breach": "⚠",    # ⚠
+    "recover": "⚙",       # ⚙
+    "note": "·",          # ·
+}
+
+
+class FlightRing:
+    """Fixed-capacity ring of flight events for one node.
+
+    Slots are six parallel preallocated lists mutated in place (reference
+    stores only); the append hot path is bounds-free index math plus six
+    field stores — no allocation, ever.  (A single flat buffer with
+    ``i * 6`` offset arithmetic measures *slower* on modern CPython,
+    whose adaptive interpreter specializes the repeated attribute loads.)
+    """
+
+    __slots__ = ("node", "capacity", "recorded", "_next",
+                 "_t", "_code", "_op", "_kind", "_peer", "_detail")
+
+    def __init__(self, node: str, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 64:
+            raise ValueError("flight ring capacity must be >= 64")
+        self.node = node
+        self.capacity = capacity
+        self.recorded = 0          # total appends ever (>= live slots)
+        self._next = 0             # next slot to overwrite
+        self._t: List[float] = [0.0] * capacity
+        self._code: List[str] = [""] * capacity
+        self._op: List[Optional[str]] = [None] * capacity
+        self._kind: List[Optional[str]] = [None] * capacity
+        self._peer: List[Optional[str]] = [None] * capacity
+        self._detail: List[Any] = [None] * capacity
+
+    def append(self, t: float, code: str, op_id: Optional[str] = None,
+               kind: Optional[str] = None, peer: Optional[str] = None,
+               detail: Any = None) -> None:
+        """Record one event.  Allocation-free; safe on the hot path."""
+        i = self._next
+        self._t[i] = t
+        self._code[i] = code
+        self._op[i] = op_id
+        self._kind[i] = kind
+        self._peer[i] = peer
+        self._detail[i] = detail
+        i += 1
+        self._next = 0 if i == self.capacity else i
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return min(self.recorded, self.capacity)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Live events, oldest first, as JSON-ready dicts."""
+        n = len(self)
+        if n < self.capacity:
+            order = range(n)
+        else:  # wrapped: oldest slot is the one about to be overwritten
+            start = self._next
+            order = [(start + j) % self.capacity for j in range(n)]
+        out = []
+        for i in order:
+            event: Dict[str, Any] = {"t": self._t[i], "event": self._code[i]}
+            if self._op[i] is not None:
+                event["op_id"] = self._op[i]
+            if self._kind[i] is not None:
+                event["kind"] = self._kind[i]
+            if self._peer[i] is not None:
+                event["peer"] = self._peer[i]
+            if self._detail[i] is not None:
+                event["detail"] = self._detail[i]
+            out.append(event)
+        return out
+
+
+class _NullRing:
+    """Stand-in ring handed out by a disabled recorder."""
+
+    __slots__ = ("node",)
+    capacity = 0
+    recorded = 0
+
+    def __init__(self, node: str = ""):
+        self.node = node
+
+    def append(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def events(self) -> List[Dict[str, Any]]:
+        return []
+
+
+class FlightRecorder:
+    """Per-node flight rings plus dump/restore plumbing.
+
+    One recorder lives on each :class:`~repro.obs.hub.Observability`
+    hub; instances and the network fetch their ring once at
+    construction and append directly to it afterwards.
+    """
+
+    def __init__(self, clock: Callable[[], float],
+                 capacity: int = DEFAULT_CAPACITY,
+                 enabled: Optional[bool] = None):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_FLIGHT", "") != "off"
+        self.clock = clock
+        self.capacity = capacity
+        self.enabled = enabled
+        self.rings: Dict[str, FlightRing] = {}
+        self.dumps_taken = 0
+
+    def ring(self, node: str):
+        """The (created-on-first-use) ring for *node*."""
+        if not self.enabled:
+            return _NullRing(node)
+        ring = self.rings.get(node)
+        if ring is None:
+            ring = self.rings[node] = FlightRing(node, self.capacity)
+        return ring
+
+    # -- network fast path -------------------------------------------------
+    def frame(self, phase: str, message: Any, reason: Any = None) -> None:
+        """Record one logical frame event (``send``/``deliver``/``drop``).
+
+        Sends and drops land on the source ring, deliveries on the
+        destination ring, mirroring how an operator reasons about each
+        node's black box.
+        """
+        if not self.enabled:
+            return
+        if phase == "deliver":
+            node, peer = message.dst, message.src
+        else:
+            node, peer = message.src, message.dst
+        ring = self.rings.get(node)
+        if ring is None:
+            ring = self.rings[node] = FlightRing(node, self.capacity)
+        payload = message.payload
+        op_id = payload.get("op_id") if isinstance(payload, dict) else None
+        ring.append(self.clock(), phase, op_id, message.kind, peer, reason)
+
+    # -- dumps -------------------------------------------------------------
+    def dump(self, reason: str, detail: Any = None) -> Dict[str, Any]:
+        """Snapshot every ring into a replayable JSON-ready black box."""
+        self.dumps_taken += 1
+        nodes = {}
+        for name in sorted(self.rings):
+            ring = self.rings[name]
+            nodes[name] = {
+                "capacity": ring.capacity,
+                "recorded": ring.recorded,
+                "events": ring.events(),
+            }
+        return {
+            "version": FLIGHT_DUMP_VERSION,
+            "reason": reason,
+            "time": self.clock(),
+            "detail": detail,
+            "nodes": nodes,
+        }
+
+    def dump_to(self, path: str, reason: str, detail: Any = None) -> str:
+        """Write a dump as JSON to *path* and return the path."""
+        box = self.dump(reason, detail=detail)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(box, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def dump_to_env_dir(recorder: FlightRecorder, reason: str,
+                    detail: Any = None) -> Optional[str]:
+    """Write a dump into ``$REPRO_FLIGHT_DIR`` when that is set.
+
+    The shared trigger path for invariant violations and post-crash
+    recovery: quietly a no-op when the env var is absent, the recorder
+    is disabled, or the directory cannot be written (post-mortem
+    capture must never take the run down with it).
+    """
+    directory = os.environ.get("REPRO_FLIGHT_DIR", "")
+    if not directory or not recorder.enabled:
+        return None
+    slug = "".join(c if c.isalnum() else "-" for c in reason).strip("-")
+    name = f"flight-{slug or 'dump'}-{recorder.dumps_taken}.json"
+    try:
+        os.makedirs(directory, exist_ok=True)
+        return recorder.dump_to(os.path.join(directory, name), reason,
+                                detail=detail)
+    except OSError:
+        return None
+
+
+def load_flight_dump(path: str) -> Dict[str, Any]:
+    """Load and minimally validate a flight dump written by ``dump_to``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        box = json.load(fh)
+    if not isinstance(box, dict) or "nodes" not in box:
+        raise ValueError(f"{path}: not a flight dump (no 'nodes' section)")
+    version = box.get("version")
+    if version != FLIGHT_DUMP_VERSION:
+        raise ValueError(f"{path}: unsupported flight dump version "
+                         f"{version!r}")
+    return box
+
+
+def _event_line(event: Dict[str, Any]) -> str:
+    glyph = _GLYPHS.get(event["event"], "?")
+    parts = [f"{glyph} t={event['t']:.6f} {event['event']}"]
+    if event.get("kind"):
+        parts.append(str(event["kind"]))
+    if event.get("op_id"):
+        parts.append(f"op={event['op_id']}")
+    if event.get("peer"):
+        parts.append(f"peer={event['peer']}")
+    detail = event.get("detail")
+    if detail is not None:
+        parts.append(f"[{detail}]")
+    return " ".join(parts)
+
+
+def render_flight(box: Dict[str, Any], op_id: Optional[str] = None,
+                  last: Optional[int] = None) -> str:
+    """Render a dump as a Tracer-style text waterfall.
+
+    With *op_id*, events from every node are merged into a single
+    time-ordered lane for that operation; otherwise each node's ring is
+    rendered as its own section.  *last* caps the events shown per
+    section (post-mortems usually only need the tail).
+    """
+    lines = [f"flight dump — reason: {box.get('reason', '?')} "
+             f"@ t={box.get('time', 0.0):.6f}"]
+    detail = box.get("detail")
+    if detail is not None:
+        lines.append(f"  detail: {json.dumps(detail, sort_keys=True, default=str)}")
+    nodes = box.get("nodes", {})
+    if op_id is not None:
+        merged = []
+        for name in sorted(nodes):
+            for event in nodes[name]["events"]:
+                if event.get("op_id") == op_id:
+                    merged.append((event["t"], name, event))
+        merged.sort(key=lambda item: item[0])
+        if last is not None:
+            merged = merged[-last:]
+        lines.append(f"op {op_id} ({len(merged)} events)")
+        for _, name, event in merged:
+            lines.append(f"  {name:<12s} {_event_line(event)}")
+        return "\n".join(lines)
+    for name in sorted(nodes):
+        ring = nodes[name]
+        events = ring["events"]
+        shown = events if last is None else events[-last:]
+        lines.append(f"node {name} — {len(events)} of {ring['recorded']} "
+                     f"recorded (capacity {ring['capacity']})")
+        for event in shown:
+            lines.append(f"  {_event_line(event)}")
+    return "\n".join(lines)

@@ -11,9 +11,13 @@ any.  The hub bundles:
   callbacks* over the components' existing cheap counters, so the hot path
   is untouched and snapshots can never drift from component accounting;
 * an opt-in :class:`~repro.obs.tracing.Tracer`
-  (:meth:`Observability.start_trace`) for causal per-operation timelines.
+  (:meth:`Observability.start_trace`) for causal per-operation timelines;
+* an always-on :class:`~repro.obs.flight.FlightRecorder` — per-node ring
+  buffers of recent protocol activity, dumped post-mortem (PR 7); and
+* an :class:`~repro.obs.slo.SLOTracker` fed every finished operation's
+  end-to-end latency (histograms, exemplars, burn-rate objectives).
 
-Both are **observationally passive**: registering collectors consumes no
+All of them are **observationally passive**: recording consumes no
 randomness and schedules no events, so a telemetered run of seed *s* is
 bit-identical to a bare run of seed *s*.
 
@@ -25,23 +29,29 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
     MetricsRegistry,
 )
+from repro.obs.slo import SLOTracker
 from repro.obs.tracing import Tracer
 
 __all__ = ["Observability"]
 
 
 class Observability:
-    """Per-runtime telemetry hub: the registry plus the opt-in tracer."""
+    """Per-runtime telemetry hub: registry, tracer, flight recorder, SLOs."""
 
     def __init__(self, clock: Callable[[], float],
                  thread_safe: bool = False) -> None:
         self.clock = clock
+        self.thread_safe = thread_safe
         self.registry = MetricsRegistry(thread_safe=thread_safe)
         self.tracer: Optional[Tracer] = None
+        self.flight = FlightRecorder(clock)
+        self.slo = SLOTracker(clock, registry=self.registry,
+                              flight=self.flight)
 
     # ------------------------------------------------------------------
     # Tracing lifecycle
@@ -49,7 +59,8 @@ class Observability:
     def start_trace(self, *networks, max_events: int = 200_000) -> Tracer:
         """Install (or reuse) the tracer and tap the given networks."""
         if self.tracer is None:
-            self.tracer = Tracer(self.clock, max_events=max_events)
+            self.tracer = Tracer(self.clock, max_events=max_events,
+                                 thread_safe=self.thread_safe)
         for network in networks:
             self.tracer.attach(network)
         return self.tracer

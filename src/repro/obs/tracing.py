@@ -54,6 +54,16 @@ _EVENT_GLYPH = {
 }
 
 
+class _NullLock:
+    """Free-of-charge stand-in for a Lock under single-threaded runtimes."""
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
 class TraceEvent:
     """One recorded occurrence attributed to an operation (or orphaned)."""
 
@@ -100,7 +110,8 @@ class Tracer:
     """Captures per-operation causal timelines across instances."""
 
     def __init__(self, clock: Callable[[], float],
-                 max_events: int = 200_000) -> None:
+                 max_events: int = 200_000,
+                 thread_safe: bool = False) -> None:
         self.clock = clock
         self.max_events = max_events
         self.events: list[TraceEvent] = []
@@ -108,6 +119,13 @@ class Tracer:
         self._by_op: dict[str, list[TraceEvent]] = {}
         self._unsubscribers: list[Callable[[], None]] = []
         self._reliable_seen: set[tuple] = set()
+        # Under the threaded runtime many nodes record concurrently; the
+        # sim runtime passes thread_safe=False and pays no locking cost.
+        if thread_safe:
+            import threading
+            self._lock: Any = threading.Lock()
+        else:
+            self._lock = _NullLock()
 
     # ------------------------------------------------------------------
     # Attachment
@@ -128,12 +146,13 @@ class Tracer:
     # Recording (instance layer + network hooks)
     # ------------------------------------------------------------------
     def _record(self, event: TraceEvent) -> None:
-        if len(self.events) >= self.max_events:
-            self.truncated += 1
-            return
-        self.events.append(event)
-        if event.op_id is not None:
-            self._by_op.setdefault(event.op_id, []).append(event)
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.truncated += 1
+                return
+            self.events.append(event)
+            if event.op_id is not None:
+                self._by_op.setdefault(event.op_id, []).append(event)
 
     def op_started(self, op_id: str, node: str, kind: str,
                    **detail: Any) -> None:

@@ -26,11 +26,17 @@ is ``None`` (unbounded), which preserves the uncontrolled behaviour.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
-from typing import Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from repro.obs import Observability
+from repro.obs.telemetry import (
+    TELEMETRY_TAG,
+    NodeHealth,
+    collect_cluster_health,
+)
 from repro.runtime.space import ThreadSafeTupleSpace
 from repro.tuples.model import Pattern, Tuple
 
@@ -94,6 +100,29 @@ class ThreadedNodeRegistry:
             )
             return [self._nodes[p] for p in peers if p in self._nodes]
 
+    def all_nodes(self) -> list["ThreadedTiamatNode"]:
+        """Every registered node (sorted by name)."""
+        with self._lock:
+            return [self._nodes[name] for name in sorted(self._nodes)]
+
+    def cluster_health(self, period: float = 1.0,
+                       expected: Optional[Iterable[str]] = None
+                       ) -> Dict[str, NodeHealth]:
+        """Aggregate every member's telemetry rows into per-node health.
+
+        The same :func:`repro.obs.telemetry.collect_cluster_health` model
+        as the simulated runtime — rows are read from the members' spaces
+        (lease expiry has already reclaimed dead publishers), ``expected``
+        defaults to every registered node so a member that never managed
+        to publish shows up ``partitioned`` instead of vanishing.
+        """
+        nodes = self.all_nodes()
+        if expected is None:
+            expected = [node.name for node in nodes]
+        return collect_cluster_health((node.space for node in nodes),
+                                      now=time.monotonic(), period=period,
+                                      expected=expected)
+
 
 class ThreadedTiamatNode:
     """One node: a local space plus opportunistic logical operations."""
@@ -115,6 +144,17 @@ class ThreadedTiamatNode:
         self._active_serves = 0
         # peer name -> (shed streak, monotonic time before which we skip it)
         self._peer_backoff: dict[str, tuple[int, float]] = {}
+        # plain counters for the telemetry payload (the labelled metrics
+        # above are for export; these are cheap to read back)
+        self.ops_started = 0
+        self.ops_unsatisfied = 0
+        self.sheds = 0
+        self.telemetry_published = 0
+        self._op_lock = threading.Lock()
+        self._op_seq = 0
+        self._telemetry_epoch = 0
+        self._telemetry_last: dict[str, int] = {}
+        self._telemetry_stop: Optional[threading.Event] = None
         registry.register(self)
         reg = registry.obs.registry
         self._ops_metric = reg.counter(
@@ -147,6 +187,33 @@ class ThreadedTiamatNode:
         self._ops_metric.labels(node=self.name, op=op, outcome=outcome).inc()
 
     # ------------------------------------------------------------------
+    # Tracing plane: wall-clock op timelines for ``repro trace --chrome``
+    # ------------------------------------------------------------------
+    def _trace_start(self, kind: str):
+        """Mint an op id and record op_start when a tracer is installed.
+
+        The registry's hub owns the tracer (``registry.obs.start_trace``,
+        thread-safe, clocked by ``time.monotonic``); with none installed
+        this is two attribute reads and no allocation.
+        """
+        self.ops_started += 1
+        tracer = self.registry.obs.tracer
+        if tracer is None:
+            return None, None
+        with self._op_lock:
+            self._op_seq += 1
+            op_id = f"{self.name}@{self._op_seq}"
+        tracer.op_started(op_id, self.name, kind)
+        return op_id, tracer
+
+    def _trace_end(self, tracer, op_id: Optional[str],
+                   result: Optional[Tuple], source: Optional[str]) -> None:
+        if result is None:
+            self.ops_unsatisfied += 1
+        if tracer is not None and op_id is not None:
+            tracer.op_finished(op_id, self.name, result is not None, source)
+
+    # ------------------------------------------------------------------
     # Serving plane: how *peers* enter this node
     # ------------------------------------------------------------------
     def _admit_serve(self) -> bool:
@@ -174,6 +241,7 @@ class ThreadedTiamatNode:
         simulated admission plane's "refuse before any work" rule.
         """
         if not self._admit_serve():
+            self.sheds += 1
             self._serve_metric.labels(node=self.name, outcome="shed").inc()
             return SHED
         try:
@@ -186,6 +254,7 @@ class ThreadedTiamatNode:
     def serve_inp(self, pattern: Pattern) -> Union[Optional[Tuple], _ShedType]:
         """Serve a peer's destructive probe, or :data:`SHED` it."""
         if not self._admit_serve():
+            self.sheds += 1
             self._serve_metric.labels(node=self.name, outcome="shed").inc()
             return SHED
         try:
@@ -196,13 +265,16 @@ class ThreadedTiamatNode:
         return taken
 
     def _peer_probe(self, peer: "ThreadedTiamatNode", pattern: Pattern,
-                    remove: bool) -> Optional[Tuple]:
+                    remove: bool, op_id: Optional[str] = None,
+                    tracer=None) -> Optional[Tuple]:
         """Probe one peer through its serving gate, honouring backoff.
 
         A shed answer is treated as a miss and starts (or extends) a capped
         exponential backoff window for that peer; a served answer clears
         the window.  Backoff windows only suppress *probes of that peer* —
-        the local space and other peers are unaffected.
+        the local space and other peers are unaffected.  With a tracer
+        installed, the verdict is recorded against the peer's span so the
+        waterfall and Chrome export show who shed or answered.
         """
         now = time.monotonic()
         streak, until = self._peer_backoff.get(peer.name, (0, 0.0))
@@ -214,9 +286,14 @@ class ThreadedTiamatNode:
             delay = min(self.POLL_INTERVAL * (2.0 ** streak),
                         self.SHED_BACKOFF_MAX)
             self._peer_backoff[peer.name] = (streak, now + delay)
+            if tracer is not None and op_id is not None:
+                tracer.note(op_id, peer.name, "serve", outcome="shed")
             return None
         if streak:
             self._peer_backoff.pop(peer.name, None)
+        if tracer is not None and op_id is not None and result is not None:
+            tracer.note(op_id, peer.name, "serve",
+                        outcome="hit", remove=remove)
         return result
 
     # ------------------------------------------------------------------
@@ -224,35 +301,47 @@ class ThreadedTiamatNode:
     # ------------------------------------------------------------------
     def out(self, tup: Tuple, lease_duration: Optional[float] = None) -> None:
         """Deposit into the local space (default scope, section 2.2)."""
+        op_id, tracer = self._trace_start("out")
         self.space.out(tup, lease_duration)
         self._count("out", "ok")
+        self._trace_end(tracer, op_id, tup, "local")
 
     def rdp(self, pattern: Pattern) -> Optional[Tuple]:
         """Non-blocking read over the current logical space."""
+        op_id, tracer = self._trace_start("rdp")
         local = self.space.rdp(pattern)
         if local is not None:
             self._count("rdp", "hit")
+            self._trace_end(tracer, op_id, local, "local")
             return local
         for peer in self.registry.visible_nodes(self.name):
-            found = self._peer_probe(peer, pattern, remove=False)
+            found = self._peer_probe(peer, pattern, remove=False,
+                                     op_id=op_id, tracer=tracer)
             if found is not None:
                 self._count("rdp", "hit")
+                self._trace_end(tracer, op_id, found, peer.name)
                 return found
         self._count("rdp", "miss")
+        self._trace_end(tracer, op_id, None, None)
         return None
 
     def inp(self, pattern: Pattern) -> Optional[Tuple]:
         """Non-blocking take over the current logical space."""
+        op_id, tracer = self._trace_start("inp")
         local = self.space.inp(pattern)
         if local is not None:
             self._count("inp", "hit")
+            self._trace_end(tracer, op_id, local, "local")
             return local
         for peer in self.registry.visible_nodes(self.name):
-            taken = self._peer_probe(peer, pattern, remove=True)
+            taken = self._peer_probe(peer, pattern, remove=True,
+                                     op_id=op_id, tracer=tracer)
             if taken is not None:
                 self._count("inp", "hit")
+                self._trace_end(tracer, op_id, taken, peer.name)
                 return taken
         self._count("inp", "miss")
+        self._trace_end(tracer, op_id, None, None)
         return None
 
     def rd(self, pattern: Pattern, timeout: float = 5.0) -> Optional[Tuple]:
@@ -268,27 +357,98 @@ class ThreadedTiamatNode:
     def eval(self, fn, *args, lease_duration: Optional[float] = None) -> threading.Thread:
         """Active tuple: run ``fn(*args)`` on a thread, deposit its result."""
         def runner():
+            op_id, tracer = self._trace_start("eval")
             result = fn(*args)
             if not isinstance(result, Tuple):
                 raise TypeError(f"eval returned {result!r}, not a Tuple")
             self.space.out(result, lease_duration)
             self._count("eval", "ok")
+            self._trace_end(tracer, op_id, result, "local")
 
         thread = threading.Thread(target=runner, daemon=True)
         thread.start()
         return thread
 
     # ------------------------------------------------------------------
+    # Telemetry plane: leased health rows for ``repro top``
+    # ------------------------------------------------------------------
+    def publish_telemetry(self, lease_duration: float = 2.5) -> None:
+        """Deposit one leased ``("_telemetry", ...)`` health row now.
+
+        Same row shape as the simulated runtime's
+        :class:`~repro.obs.telemetry.TelemetryPublisher` — windowed deltas
+        since the previous row plus instantaneous gauges — but clocked by
+        wall time.  The lease is the whole liveness story: a node that
+        stops publishing has its rows reaped by expiry, so the collector
+        sees it age out and flags it partitioned.
+        """
+        self._telemetry_epoch += 1
+        current = {
+            "ops": self.ops_started,
+            "unsat": self.ops_unsatisfied,
+            "sheds": self.sheds,
+            "retx": 0,
+            "rexp": 0,
+        }
+        payload: dict = {f"{key}_w": value - self._telemetry_last.get(key, 0)
+                         for key, value in current.items()}
+        self._telemetry_last = current
+        payload["t"] = time.monotonic()
+        payload["resident"] = self.space.count()
+        payload["pending"] = 0
+        row = Tuple(TELEMETRY_TAG, self.name, self._telemetry_epoch,
+                    json.dumps(payload, separators=(",", ":"),
+                               sort_keys=True))
+        self.space.out(row, lease_duration=lease_duration)
+        self.telemetry_published += 1
+
+    def start_telemetry(self, period: float = 1.0,
+                        lease_duration: Optional[float] = None) -> None:
+        """Publish a health row now and then every ``period`` seconds.
+
+        Runs on a daemon thread until :meth:`stop_telemetry`.  The default
+        lease is 2.5 publish periods, comfortably over one beat (a single
+        delayed beat does not flap the node partitioned) and safely under
+        the collector's ``STALE_PERIODS`` cutoff.
+        """
+        if self._telemetry_stop is not None:
+            return
+        if lease_duration is None:
+            lease_duration = 2.5 * period
+        stop = threading.Event()
+        self._telemetry_stop = stop
+
+        def beat():
+            while True:
+                self.publish_telemetry(lease_duration)
+                if stop.wait(period):
+                    return
+
+        threading.Thread(target=beat, daemon=True,
+                         name=f"telemetry-{self.name}").start()
+
+    def stop_telemetry(self) -> None:
+        """Stop the periodic publisher (existing rows expire naturally)."""
+        if self._telemetry_stop is not None:
+            self._telemetry_stop.set()
+            self._telemetry_stop = None
+
+    # ------------------------------------------------------------------
     def _timed_blocking(self, op: str, pattern: Pattern, remove: bool,
                         timeout: float) -> Optional[Tuple]:
+        op_id, tracer = self._trace_start(op)
         started = time.monotonic()
-        result = self._blocking(pattern, remove=remove, timeout=timeout)
+        result, source = self._blocking(pattern, remove=remove,
+                                        timeout=timeout, op_id=op_id,
+                                        tracer=tracer)
         self._wait_hist.observe(time.monotonic() - started)
         self._count(op, "hit" if result is not None else "miss")
+        self._trace_end(tracer, op_id, result, source)
         return result
 
-    def _blocking(self, pattern: Pattern, remove: bool,
-                  timeout: float) -> Optional[Tuple]:
+    def _blocking(self, pattern: Pattern, remove: bool, timeout: float,
+                  op_id: Optional[str] = None, tracer=None):
+        """Poll until match or deadline; returns ``(tuple, source)``."""
         deadline = time.monotonic() + timeout
         while True:
             # Local space first — use a short real block so a local deposit
@@ -296,16 +456,17 @@ class ThreadedTiamatNode:
             local = (self.space.in_(pattern, timeout=self.POLL_INTERVAL) if remove
                      else self.space.rd(pattern, timeout=self.POLL_INTERVAL))
             if local is not None:
-                return local
+                return local, "local"
             # Then the currently visible peers (opportunistic re-sample),
             # through their serving gates so a saturated peer sheds us
             # into a per-peer backoff instead of being hammered.
             for peer in self.registry.visible_nodes(self.name):
-                found = self._peer_probe(peer, pattern, remove=remove)
+                found = self._peer_probe(peer, pattern, remove=remove,
+                                         op_id=op_id, tracer=tracer)
                 if found is not None:
-                    return found
+                    return found, peer.name
             if time.monotonic() >= deadline:
-                return None
+                return None, None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ThreadedTiamatNode {self.name}>"

@@ -66,15 +66,16 @@ def _decode_entry_tuple(data: object, codec: str) -> Tuple:
 
 
 def snapshot_space(space: LocalTupleSpace,
-                   skip_tags: tuple = ("__space_info__",),
+                   skip_tags: tuple = ("__space_info__", "_telemetry"),
                    codec: str = "json") -> dict:
     """Capture a space's visible tuples and remaining lease times.
 
     Held entries (mid two-phase claim) are deliberately excluded: a claim
     cannot survive a power cycle, and the claim timeout on the live side
     puts the logical state right.  Infrastructure tuples (first field in
-    ``skip_tags``, by default the space-info tuple) are excluded too —
-    the restoring instance maintains its own.
+    ``skip_tags``, by default the space-info tuple and the in-space
+    telemetry health rows) are excluded too — the restoring instance
+    maintains its own.
 
     ``codec`` selects the tuple encoding: ``"json"`` (the default, and
     the pre-PR-6 format) or ``"binary"`` (LEB128 wire bytes, hex-encoded

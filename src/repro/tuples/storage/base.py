@@ -39,8 +39,10 @@ from repro.tuples.model import Tuple
 from repro.tuples.space import LocalTupleSpace
 
 #: Tuple tags excluded from durability by default (infrastructure tuples
-#: the owning instance recreates on every boot — see persistence.py).
-DEFAULT_SKIP_TAGS: tuple = ("__space_info__",)
+#: the owning instance recreates on every boot — see persistence.py — and
+#: the short-leased in-space telemetry rows of repro.obs.telemetry, which
+#: are ephemeral operational data a restarted node republishes itself).
+DEFAULT_SKIP_TAGS: tuple = ("__space_info__", "_telemetry")
 
 
 class RecoveredState:

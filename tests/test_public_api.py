@@ -91,9 +91,12 @@ EXPECTED_NET = {
 }
 
 EXPECTED_OBS = {
-    "Counter", "DEFAULT_COUNT_BUCKETS", "DEFAULT_TIME_BUCKETS", "Gauge",
-    "Histogram", "MetricFamily", "MetricsRegistry", "Observability",
-    "TraceEvent", "Tracer",
+    "Counter", "DEFAULT_COUNT_BUCKETS", "DEFAULT_TIME_BUCKETS",
+    "FlightRecorder", "FlightRing", "Gauge", "Histogram", "MetricFamily",
+    "MetricsRegistry", "NodeHealth", "Observability", "SLOObjective",
+    "SLOTracker", "TELEMETRY_TAG", "TelemetryPublisher", "TraceEvent",
+    "Tracer", "collect_cluster_health", "load_flight_dump", "render_flight",
+    "render_top",
 }
 
 
