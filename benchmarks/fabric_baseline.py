@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Fabric scalability baseline harness + CI gate (O(k) contact cost).
+
+Runs the T5b fabric arm's 100-host scenario — the request/response
+workload over the sharded + replicated fabric, plus the union-scan
+control — and either records the result as the committed baseline or
+checks a fresh run against it.  The metrics come from a seeded
+discrete-event simulation, so they are exactly reproducible; the gate's
+tolerance only absorbs deliberate protocol changes, not runner noise.
+
+What the gate proves: a ground-prefix consume contacts the O(k) shard
+owner set (``fabric_scatter_width``), total wire cost per logical
+operation stays bounded (``fabric_frames_per_op``, vs the union scan's
+~n), and routing does not cost availability (success tracked via
+``fabric_timeout_rate``).
+
+Usage::
+
+    python benchmarks/fabric_baseline.py                # measure + print
+    python benchmarks/fabric_baseline.py --rebaseline   # rewrite BENCH_fabric.json
+    python benchmarks/fabric_baseline.py --check        # gate: exit 1 on >25% regression
+
+**Rebaseline policy**: same as ``perf_baseline.py`` — when a PR
+intentionally changes fabric wire cost, run ``--rebaseline``, commit the
+updated ``BENCH_fabric.json`` in the same PR, and say why in the PR
+description.  Never rebaseline to silence a regression you cannot
+explain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bench import perf  # noqa: E402
+
+from test_t5b_tiamat_scalability import FABRIC_DURATION, run_size  # noqa: E402
+from perf_baseline import runner_fingerprint  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_fabric.json")
+
+#: Gate scenario size: large enough that the union scan visibly pays O(n),
+#: small enough for a per-PR CI job.
+HOSTS = 100
+
+
+def collect() -> dict:
+    """Measure the gated metrics (all lower-is-better, all deterministic)."""
+    fabric = run_size(HOSTS, fabric=True, duration=FABRIC_DURATION)
+    union = run_size(HOSTS, fabric=False, duration=FABRIC_DURATION)
+    return {
+        "fabric_frames_per_op": fabric["frames_per_op"],
+        "fabric_scatter_width": fabric["scatter_width"],
+        "fabric_latency_s": fabric["latency"],
+        "fabric_timeout_rate": 1.0 - fabric["success"],
+        "union_frames_per_op": union["frames_per_op"],
+    }
+
+
+def build_document(metrics: dict) -> dict:
+    return {
+        "schema": perf.SCHEMA_VERSION,
+        "generated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "runner": runner_fingerprint(),
+        "scenario": {"hosts": HOSTS, "duration_s": FABRIC_DURATION,
+                     "workload": "request_response"},
+        "units": {"*_per_op": "frames per logical operation",
+                  "*_width": "mean peers contacted per planned operation",
+                  "*_s": "mean virtual seconds",
+                  "*_rate": "fraction of consume attempts"},
+        "metrics": metrics,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default BENCH_fabric.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 1 on regression")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="write the measured metrics as the new baseline")
+    parser.add_argument("--tolerance", type=float,
+                        default=perf.DEFAULT_TOLERANCE,
+                        help="relative regression tolerated (default 0.25)")
+    args = parser.parse_args(argv)
+
+    metrics = collect()
+
+    baseline = None
+    if args.check or (os.path.exists(args.baseline) and not args.rebaseline):
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            baseline = None
+
+    print(perf.render_table(metrics, baseline))
+
+    if args.rebaseline:
+        doc = build_document(metrics)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n[fabric] baseline written to {args.baseline}")
+        return 0
+
+    if args.check:
+        if baseline is None:
+            print(f"\n[fabric] FAIL: no baseline at {args.baseline} "
+                  "(run --rebaseline and commit it)")
+            return 1
+        problems = perf.compare(baseline, metrics, tolerance=args.tolerance)
+        # The headline claim is absolute, not just regression-relative:
+        # routed consumes must beat the union scan by a wide margin.
+        if metrics["fabric_frames_per_op"] > 8.0:
+            problems.append(
+                f"fabric_frames_per_op {metrics['fabric_frames_per_op']:.2f} "
+                "exceeds the absolute O(k) budget of 8.0")
+        if metrics["union_frames_per_op"] < 3 * metrics["fabric_frames_per_op"]:
+            problems.append(
+                "fabric no longer beats the union scan 3x: "
+                f"{metrics['fabric_frames_per_op']:.2f} vs "
+                f"{metrics['union_frames_per_op']:.2f}")
+        if problems:
+            print("\n[fabric] FAIL: scalability gate tripped:")
+            for line in problems:
+                print(f"  - {line}")
+            print("\nIf this change is intentional, rebaseline per the "
+                  "policy in this script's docstring.")
+            return 1
+        print(f"\n[fabric] OK: all metrics within {args.tolerance:.0%} "
+              "of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

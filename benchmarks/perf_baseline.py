@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 from datetime import datetime, timezone
 
@@ -43,10 +44,22 @@ def load_baseline(path: str) -> dict:
         return json.load(fh)
 
 
+def runner_fingerprint() -> dict:
+    """Where a baseline was measured — context for reviewing a regression
+    (timing metrics move with the hardware; the gate's 25% tolerance
+    assumes baseline and check ran on comparable runners)."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
 def build_document(metrics: dict) -> dict:
     return {
         "schema": perf.SCHEMA_VERSION,
         "generated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "runner": runner_fingerprint(),
         "units": {"*_ns": "median ns/op", "*_per_op": "per logical operation"},
         "metrics": metrics,
     }

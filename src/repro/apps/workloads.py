@@ -28,6 +28,7 @@ class WorkloadStats:
         self.consume_attempts = 0
         self.consumed = 0
         self.timeouts = 0
+        self.latency_sum = 0.0
 
     @property
     def success_rate(self) -> float:
@@ -35,6 +36,13 @@ class WorkloadStats:
         if self.consume_attempts == 0:
             return 0.0
         return self.consumed / self.consume_attempts
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean virtual seconds from consume issue to satisfaction."""
+        if self.consumed == 0:
+            return 0.0
+        return self.latency_sum / self.consumed
 
 
 class RequestResponseWorkload:
@@ -82,11 +90,13 @@ class RequestResponseWorkload:
                 node.out(Tuple(ITEM_TAG, target, self._seq))
                 self.stats.produced += 1
             self.stats.consume_attempts += 1
+            issued = self.sim.now
             op = node.in_(Pattern(ITEM_TAG, name, Formal(int)),
                           timeout=self.op_timeout)
             result = yield op.event
             if result is not None:
                 self.stats.consumed += 1
+                self.stats.latency_sum += self.sim.now - issued
             else:
                 self.stats.timeouts += 1
 

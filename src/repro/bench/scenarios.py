@@ -58,6 +58,12 @@ def build_system(system: str, n: int, seed: int = 0,
                 **adapter_kwargs)
             for name in names
         }
+        if config is not None and config.fabric is not None:
+            # Seed every fabric member with the full roster: benches
+            # measure steady-state routing cost, not the gossip warm-up
+            # (which would also trigger join migrations mid-measurement).
+            for node in nodes.values():
+                node.instance.fabric.bootstrap(names)
     elif system == "central":
         _, clients = build_central_system(sim, network, names)
         nodes = clients

@@ -30,6 +30,7 @@ perturb, max_events)`` is bit-identical — the property shrinking rests on.
 from __future__ import annotations
 
 import hashlib
+import os
 import time as _time
 from typing import Callable, Dict, List, Optional
 
@@ -387,6 +388,104 @@ def build_crash_recover(sim: Simulator, net: Network,
     return list(registry.values()), 3.0
 
 
+@template("fabric_churn")
+def build_fabric_churn(sim: Simulator, net: Network,
+                       vis: VisibilityGraph, rng,
+                       perturb: "Perturbations") -> tuple:
+    """Five fabric members under churn: shard handoff must stay exactly-once.
+
+    All five instances run the sharded + replicated fabric (k=2, tight
+    membership leases so handoff happens within the horizon).  A producer
+    streams jobs across three shard keys while two consumers take them
+    with ground-prefix patterns — O(k) routed, no union scan.  On a
+    seeded timetable the *primary owner of one of those shard keys*
+    crashes and later revives as a fresh, empty instance: its member
+    lease lapses, the survivors run the witness sync and promote their
+    quarantined replicas (satisfying any `in` blocked on that shard), and
+    the revival triggers rebalance migrations back.  The exactly-once
+    oracle flags a replica released after its primary's copy was consumed;
+    the no-ghost-read oracle watches the store indexes throughout.
+
+    Every random draw happens regardless of the churn switch, so ablating
+    the crash layer keeps all other streams aligned.
+    """
+    from repro.fabric import FabricConfig, shard_key
+
+    names = ["a", "b", "c", "d", "e"]
+    edges = [(l, r) for i, l in enumerate(names) for r in names[i + 1:]]
+
+    def make_config() -> TiamatConfig:
+        return TiamatConfig(fabric=FabricConfig(
+            replication=2, key_fields=2, membership_lease=0.8,
+            heartbeat_period=0.25, migrate_timeout=0.4))
+
+    registry = {n: TiamatInstance(sim, net, n, config=make_config())
+                for n in names}
+    for left, right in edges:
+        vis.set_visible(left, right, True)
+    for inst in registry.values():
+        inst.fabric.bootstrap(names)
+
+    keys = ["k0", "k1", "k2"]
+    # The victim is the primary owner of the first shard key — its death
+    # forces a real ownership handoff, not just membership noise.
+    probe_key = shard_key(Tuple("job", keys[0], 0), key_fields=2)
+    victim = registry["a"].fabric.map.ring(sim.now).owners(probe_key, 1)[0]
+
+    def producer():
+        for i in range(9):
+            yield sim.timeout(0.04 + rng.random() * 0.18)
+            inst = registry.get("a")
+            if inst is None:
+                continue  # producer node down: this deposit never happened
+            try:
+                inst.out(Tuple("job", keys[i % len(keys)], i))
+            except Exception:
+                pass  # lease refused: allowed weather
+
+    def consumer(name: str, jitter: float):
+        yield sim.timeout(jitter)
+        for j in range(4):
+            inst = registry.get(name)
+            if inst is None:
+                yield sim.timeout(0.2)
+                continue  # our node is down this round
+            op = inst.in_(Pattern("job", keys[(j * 2) % len(keys)], int),
+                          requester=_terms(0.5 + rng.random() * 0.5))
+            yield op.event
+            yield sim.timeout(rng.random() * 0.06)
+
+    sim.spawn(producer())
+    sim.spawn(consumer("b" if victim != "b" else "c", 0.1))
+    sim.spawn(consumer("d" if victim != "d" else "e",
+                       0.12 + rng.random() * 0.05))
+
+    # One seeded crash/revive cycle.  The revival is a *fresh* instance
+    # (empty space): resurrecting the dead node's copies alongside the
+    # promoted replicas would itself be the double-consume bug this
+    # template hunts, so only promotion/migration may restore state.
+    crash_at = 0.5 + rng.random() * 0.5
+    revive_at = crash_at + 0.5 + rng.random() * 0.5
+
+    def crash() -> None:
+        inst = registry.pop(victim, None)
+        if inst is not None:
+            inst.shutdown()
+
+    def revive() -> None:
+        inst = TiamatInstance(sim, net, victim, config=make_config())
+        for left, right in edges:
+            if victim in (left, right):
+                vis.set_visible(left, right, True)
+        inst.fabric.bootstrap(sorted(registry) + [victim])
+        registry[victim] = inst
+
+    if perturb.churn:
+        sim.schedule_at(crash_at, crash)
+        sim.schedule_at(revive_at, revive)
+    return list(registry.values()), 3.5
+
+
 # ----------------------------------------------------------------------
 # Running one schedule
 # ----------------------------------------------------------------------
@@ -420,8 +519,12 @@ def run_schedule(template_name: str, seed: int,
     net = Network(sim, visibility=vis,
                   latency_factory=default_latency(per_byte=0.0))
     if perturb.faults:
+        # The nightly chaos soak raises the stakes via REPRO_CHAOS_LOSS
+        # (same knob as the T10 bench); determinism is per-environment —
+        # the same (template, seed, perturb, loss) always replays.
+        loss = float(os.environ.get("REPRO_CHAOS_LOSS", "") or 0.08)
         net.use_faults(FaultPlan([
-            RandomLoss(0.08),
+            RandomLoss(loss),
             DuplicateFrames(0.05),
             ReorderFrames(0.1, max_extra_delay=0.02),
         ]))

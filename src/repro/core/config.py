@@ -20,8 +20,12 @@ object pins each one explicitly so experiments can ablate them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.leasing import LeaseTerms, OperationKind
+
+if TYPE_CHECKING:  # pragma: no cover - type hint only, no runtime import
+    from repro.fabric.config import FabricConfig
 
 
 def _default_lease_terms() -> dict:
@@ -147,6 +151,14 @@ class TiamatConfig:
         Requested lease duration for each health row; a dead node's rows
         expire (and are reclaimed by the space) this long after its last
         beat.
+    fabric:
+        A :class:`~repro.fabric.config.FabricConfig` to run this instance
+        inside the sharded + replicated tuple-space fabric (consistent-hash
+        routing, k-way replication, lease-governed shard handoff — see
+        ``docs/PROTOCOL.md`` section 11).  ``None`` (the default) keeps the
+        union-scan logical space and is bit-identical to the pre-fabric
+        behaviour: no fabric code is imported, no fabric frames or payload
+        keys appear on the wire.
     """
 
     propagate_mode: str = "start"
@@ -178,6 +190,7 @@ class TiamatConfig:
     telemetry_enabled: bool = False
     telemetry_period: float = 1.0
     telemetry_lease: float = 2.5
+    fabric: Optional["FabricConfig"] = None
 
     def __post_init__(self) -> None:
         if self.propagate_mode not in ("start", "continuous"):
@@ -202,6 +215,8 @@ class TiamatConfig:
             raise ValueError("telemetry_period must be > 0")
         if self.telemetry_lease <= 0:
             raise ValueError("telemetry_lease must be > 0")
+        if self.fabric is not None and not hasattr(self.fabric, "replication"):
+            raise ValueError("fabric must be a FabricConfig (or None)")
 
     def default_terms(self, kind: OperationKind) -> LeaseTerms:
         """The default lease request for an operation kind."""

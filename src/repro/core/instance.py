@@ -153,6 +153,15 @@ class TiamatInstance:
         self.sync_responses_sent = 0
         self.rejoins_completed = 0
         self._recovery_observed = False
+        # The opt-in sharded + replicated fabric (docs/PROTOCOL.md
+        # section 11).  Imported lazily: with fabric=None (the default)
+        # no fabric module loads and behaviour is bit-identical to the
+        # union-scan seed.
+        self.fabric = None
+        if self.config.fabric is not None:
+            from repro.fabric.manager import FabricManager
+
+            self.fabric = FabricManager(self)
         sim.obs.observe_instance(self)
         # The node's black box: a preallocated ring of recent protocol
         # activity (repro.obs.flight), appended to directly from the hot
@@ -168,12 +177,31 @@ class TiamatInstance:
     # Application API: the six operations on the logical space
     # ==================================================================
     def out(self, tup: Tuple, requester: Optional[LeaseRequester] = None):
-        """Deposit a tuple in the local space under a negotiated lease.
+        """Deposit a tuple in the logical space under a negotiated lease.
 
         Returns the stored entry.  Raises a lease error (and stores
         nothing) when the lease manager refuses or the requester declines
         the offer — "if a lease is refused, no further work is carried out
         on the operation".
+
+        With the fabric enabled, a tuple whose shard belongs to another
+        instance is routed there (``FABRIC_OUT``) and ``None`` is
+        returned: the owner negotiates its own lease for the deposit,
+        exactly as with a handle-directed ``out``.
+        """
+        if self.fabric is not None and self.fabric.route_out(tup):
+            return None
+        return self._deposit_local(tup, requester=requester)
+
+    def _deposit_local(self, tup: Tuple,
+                       requester: Optional[LeaseRequester] = None):
+        """Deposit into *this* space, bypassing fabric routing.
+
+        Used by every directed deposit (handle-directed ``out``,
+        ``out_back`` fallbacks, inbound ``REMOTE_OUT``/``FABRIC_OUT``):
+        re-routing a directed deposit could loop under shard-map skew, and
+        section 2.4's semantics pin the destination anyway.  A misplaced
+        deposit converges via the fabric's rebalance migration.
         """
         size = encoded_size(tup)
         lease = self.leases.negotiate(self._requester(OperationKind.OUT, requester),
@@ -181,6 +209,8 @@ class TiamatInstance:
         entry = self.space.out(tup, expires_at=lease.expires_at,
                                meta={"lease": lease, "owner": self.name})
         lease.on_end(lambda l, state: self._on_out_lease_end(entry, state))
+        if self.fabric is not None:
+            self.fabric.register_primary(entry)
         return entry
 
     def eval(self, fn: Callable[..., Tuple], *args,
@@ -239,7 +269,7 @@ class TiamatInstance:
         event = self.sim.event()
         if handle.instance_name == self.name:
             try:
-                self.out(tup)
+                self._deposit_local(tup)
                 event.succeed(True)
             except Exception:
                 event.succeed(False)
@@ -298,7 +328,7 @@ class TiamatInstance:
         left this instance: ``"remote"``, ``"local"``, or ``"routed"``.
         """
         if source == self.name:
-            self.out(tup)
+            self._deposit_local(tup)
             return "local"
         if self.iface.is_visible(source):
             self.send_reliable(source, {
@@ -309,14 +339,14 @@ class TiamatInstance:
             }, deadline=self.sim.now + self.config.peer_timeout)
             return "remote"
         if policy is UnavailablePolicy.LOCAL:
-            self.out(tup)
+            self._deposit_local(tup)
             return "local"
         if policy is UnavailablePolicy.ABANDON:
             raise OperationAbandonedError(
                 f"destination {source!r} unavailable and policy is abandon")
         relay = self.router.choose_relay(self, source, exclude={self.name})
         if relay is None:
-            self.out(tup)
+            self._deposit_local(tup)
             return "local"
         self.send(relay, {
             "kind": protocol.RELAY_OUT,
@@ -382,7 +412,10 @@ class TiamatInstance:
 
     def _on_tuple_removed(self, entry, reason: str) -> None:
         lease = entry.meta.get("lease")
-        if lease is not None and lease.active and reason == "consumed":
+        # A migrated-away entry frees its funding lease just like a
+        # consumed one: the tuple now lives (and is leased) elsewhere.
+        if (lease is not None and lease.active
+                and reason in ("consumed", "migrated")):
             lease.release()
 
     def deposit_eval_result(self, result: Tuple, lease) -> None:
@@ -410,6 +443,13 @@ class TiamatInstance:
             racks = self.reliability.take_piggyback(peer)
             if racks is not None:
                 payload = {**payload, "racks": racks}
+        if (self.fabric is not None
+                and payload.get("kind") not in (protocol.REL_ACK,
+                                                protocol.FABRIC_MAP)):
+            # Shard-map digest piggyback: any ordinary frame doubles as an
+            # anti-entropy probe, so skewed maps reconcile without waiting
+            # for the next gossip heartbeat.
+            payload = {**payload, "fmd": self.fabric.digest()}
         return self.iface.unicast(peer, payload)
 
     def send_reliable(self, peer: str, payload: dict,
@@ -439,6 +479,8 @@ class TiamatInstance:
         if ("rseq" in payload and self.config.reliability_enabled
                 and not self.reliability.on_receive(src, payload)):
             return  # duplicate of an already-dispatched reliable frame
+        if self.fabric is not None and "fmd" in payload:
+            self.fabric.on_digest(src, payload["fmd"])
         if kind == protocol.DISCOVER:
             self.comms.note_alive(src)
             self.send(src, {"kind": protocol.DISCOVER_ACK, "did": payload["did"]})
@@ -476,6 +518,10 @@ class TiamatInstance:
             self._handle_sync_request(src, payload)
         elif kind == protocol.SYNC_RESPONSE:
             self._handle_sync_response(src, payload)
+        elif kind in protocol.FABRIC_KINDS:
+            if self.fabric is not None:
+                self.comms.note_alive(src)
+                self.fabric.handle(kind, src, payload)
 
     def _handle_remote_out(self, src: str, payload: dict) -> None:
         tup = decode_tuple(payload["tuple"])
@@ -486,7 +532,7 @@ class TiamatInstance:
                          self.config.default_terms(OperationKind.OUT).capped(
                              duration=duration)))
         try:
-            self.out(tup, requester=requester)
+            self._deposit_local(tup, requester=requester)
             ok = True
         except Exception:
             ok = False
@@ -669,7 +715,11 @@ class TiamatInstance:
 
     def _handle_sync_request(self, src: str, payload: dict) -> None:
         self.comms.note_alive(src)
-        witnessed = self._consume_witness.get(src, {})
+        # Normally a rejoining node asks about its *own* entries; the
+        # fabric's promotion path instead asks about a dead third party's
+        # (payload["owner"]) before releasing its quarantined replicas.
+        owner = payload.get("owner", src)
+        witnessed = self._consume_witness.get(owner, {})
         self.sync_responses_sent += 1
         self.send_reliable(src, {"kind": protocol.SYNC_RESPONSE,
                                  "sid": payload["sid"],
@@ -677,7 +727,14 @@ class TiamatInstance:
                            deadline=self.sim.now + self.config.peer_timeout)
 
     def _handle_sync_response(self, src: str, payload: dict) -> None:
-        if self._rejoin_sid is None or payload.get("sid") != self._rejoin_sid:
+        sid = payload.get("sid")
+        if isinstance(sid, int) and sid < 0:
+            # Negative sids namespace the fabric's promotion syncs away
+            # from rejoin sids (which come from the positive _rids stream).
+            if self.fabric is not None:
+                self.fabric.on_sync_response(src, payload)
+            return
+        if self._rejoin_sid is None or sid != self._rejoin_sid:
             return
         for durable_id in payload.get("consumed", ()):
             entry_id = self._rejoin_map.pop(durable_id, None)
@@ -740,6 +797,8 @@ class TiamatInstance:
         if self._detached:
             return
         self._detached = True
+        if self.fabric is not None:
+            self.fabric.stop()
         if self._telemetry is not None:
             self._telemetry.stop()
         if self._rejoin_timer is not None:

@@ -64,6 +64,7 @@ class Operation:
         self._local_waiter = None
         self._reply_events: dict[str, Event] = {}
         self._unsubscribe_visibility = None
+        self._unsubscribe_fabric = None
         self._refusal_attempts: dict[str, int] = {}
         lease.on_end(self._on_lease_end)
 
@@ -133,6 +134,9 @@ class Operation:
         if self._unsubscribe_visibility is not None:
             self._unsubscribe_visibility()
             self._unsubscribe_visibility = None
+        if self._unsubscribe_fabric is not None:
+            self._unsubscribe_fabric()
+            self._unsubscribe_fabric = None
         # Withdraw the operation from every peer still working on it
         # (peers that already answered have nothing ongoing to cancel).
         for peer in self.contacted:
@@ -166,6 +170,15 @@ class Operation:
         local = self._probe_local()
         if local is not None:
             self._finalize(local, self.instance.name)
+            return
+        fabric = self.instance.fabric
+        if fabric is not None and fabric.active() and fabric.routes(self.pattern):
+            # Fabric routing: contact the shard's O(k) owner set (or the
+            # bounded scatter for a wildcard prefix).  No discovery, no
+            # union walk — that is the whole point.
+            yield from self._probe_peers(fabric.plan(self.pattern))
+            if not self.done:
+                self._finalize(None, None)
             return
         comms = self.instance.comms
         if self.instance.config.comms_strategy == "multicast":
@@ -235,6 +248,25 @@ class Operation:
             return
         self._local_waiter = waiter
         waiter.event.add_callback(self._on_local_match)
+        fabric = self.instance.fabric
+        if fabric is not None and fabric.active() and fabric.routes(self.pattern):
+            # Contact the owner set now and re-plan whenever the shard map
+            # changes (a promotion or handoff can move the match's home
+            # mid-wait); the map subscription replaces discovery fan-out.
+            self._unsubscribe_fabric = fabric.on_change(self._on_fabric_change)
+            peers = fabric.plan(self.pattern)
+            if peers:
+                self._contact_blocking(peers[0])
+            # Backup owners are insurance: in steady state the match lives
+            # at its shard primary, so immediate fan-out to the whole
+            # owner set pays k frames for every operation.  Stagger the
+            # rest behind half a peer-timeout each — failover costs a
+            # little latency, the common case costs O(1) frames.
+            stagger = self.instance.config.peer_timeout / 2
+            for i, peer in enumerate(peers[1:], start=1):
+                self.instance.sim.schedule(i * stagger,
+                                           self._contact_backup, peer)
+            return
         if self.instance.config.propagate_mode == "continuous":
             self._unsubscribe_visibility = (
                 self.instance.network.visibility.on_edge_change(self._on_edge_change)
@@ -279,9 +311,29 @@ class Operation:
             return
         self.contacted.append(peer)
 
+    def _contact_backup(self, peer: str) -> None:
+        """Deferred contact of a backup shard owner (see _start_blocking)."""
+        if self.done or not self.lease.active:
+            return
+        self._contact_blocking(peer)
+
     def _on_local_match(self, event: Event) -> None:
         self._local_waiter = None
         self._finalize(event.value, self.instance.name)
+
+    def _on_fabric_change(self) -> None:
+        """Shard map changed: contact any owners not yet holding the query.
+
+        Re-plans without re-recording scatter width (one sample per
+        logical operation).  Peers already contacted keep their standing
+        query; ``_contact_blocking`` dedups them.
+        """
+        if self.done or not self.lease.active:
+            return
+        for peer in self.instance.fabric.plan(self.pattern, record=False):
+            if self.done:
+                return
+            self._contact_blocking(peer)
 
     def _on_edge_change(self, a: str, b: str, visible: bool) -> None:
         """Continuous propagation: contact instances that become visible."""

@@ -48,7 +48,22 @@ anti-entropy rejoin
     witnessed being consumed while it was down; the response lets it purge
     tuples whose destructive ``in`` committed remotely before the crash —
     without it a torn removal record would resurrect them as ghosts (see
-    ``docs/PROTOCOL.md`` section 10).
+    ``docs/PROTOCOL.md`` section 10).  A ``SYNC_REQUEST`` may carry an
+    ``owner`` field naming a *third* instance: the fabric's promotion path
+    asks live peers for consume witnesses of a dead member's entries
+    before releasing its quarantined replicas (section 11.3).
+
+fabric
+    The sharded + replicated tuple-space fabric (opt-in via
+    ``TiamatConfig(fabric=...)``, ``docs/PROTOCOL.md`` section 11).
+    ``FABRIC_MAP`` gossips the lease-governed shard map; a short map
+    digest also piggybacks on ordinary frames (payload key ``"fmd"``) so
+    skewed peers reconcile between heartbeats.  ``FABRIC_OUT`` routes a
+    deposit to its shard's primary owner; ``FABRIC_REPL`` copies a primary
+    to its k-1 successor owners (quarantined); ``FABRIC_INVAL`` retires
+    replicas of a consumed or expired primary; ``FABRIC_MIGRATE`` /
+    ``FABRIC_MIGRATE_ACK`` are the two-phase ownership handoff when the
+    ring changes (hold → transfer → remove-on-ack, drop on timeout).
 """
 
 from __future__ import annotations
@@ -73,6 +88,19 @@ REL_ACK = "rel_ack"
 SYNC_REQUEST = "sync_request"
 SYNC_RESPONSE = "sync_response"
 
+FABRIC_MAP = "fabric_map"
+FABRIC_OUT = "fabric_out"
+FABRIC_REPL = "fabric_repl"
+FABRIC_INVAL = "fabric_inval"
+FABRIC_MIGRATE = "fabric_migrate"
+FABRIC_MIGRATE_ACK = "fabric_migrate_ack"
+
+#: The fabric family, dispatched to the instance's FabricManager.
+FABRIC_KINDS = frozenset({
+    FABRIC_MAP, FABRIC_OUT, FABRIC_REPL, FABRIC_INVAL,
+    FABRIC_MIGRATE, FABRIC_MIGRATE_ACK,
+})
+
 #: Every kind, for validation and stats bucketing.
 ALL_KINDS = frozenset({
     DISCOVER, DISCOVER_ACK,
@@ -81,4 +109,4 @@ ALL_KINDS = frozenset({
     REMOTE_OUT, REMOTE_OUT_ACK, RELAY_OUT,
     REL_ACK,
     SYNC_REQUEST, SYNC_RESPONSE,
-})
+}) | FABRIC_KINDS

@@ -1,0 +1,35 @@
+"""`repro.fabric`: the sharded + replicated tuple-space fabric.
+
+Opt-in (``TiamatConfig(fabric=FabricConfig(...))``): replaces the
+union-scan logical space with consistent-hash routing — ground-prefix
+patterns contact an O(k) owner set, wildcard patterns a bounded scatter —
+plus k-way quarantined replication and lease-governed shard handoff on
+churn.  With ``fabric=None`` (the default) nothing in this package is
+imported at runtime and instances behave bit-identically to the seed.
+
+See ``docs/PROTOCOL.md`` section 11 for the wire protocol and the
+handoff state machine.
+"""
+
+from repro.fabric.config import FabricConfig
+from repro.fabric.keys import (
+    is_infrastructure,
+    pattern_is_infrastructure,
+    pattern_shard_key,
+    shard_key,
+)
+from repro.fabric.manager import FabricManager
+from repro.fabric.map import ShardMap
+from repro.fabric.ring import HashRing, stable_hash
+
+__all__ = [
+    "FabricConfig",
+    "FabricManager",
+    "HashRing",
+    "ShardMap",
+    "is_infrastructure",
+    "pattern_is_infrastructure",
+    "pattern_shard_key",
+    "shard_key",
+    "stable_hash",
+]

@@ -1,0 +1,63 @@
+"""Shard keying: from tuples and patterns to consistent-hash keys.
+
+A shard key is a stable string built from a tuple's **arity** plus
+type-and-value tokens for its first ``key_fields`` fields.  Matching
+requires equal arity (see :mod:`repro.tuples.matching`), so folding the
+arity in is sound: a pattern can only match tuples in its own arity class.
+
+A pattern yields the *same* key when its leading ``key_fields`` specs are
+all actuals (a *ground* prefix) — then the lookup routes to the key's O(k)
+owner set.  Any formal or wildcard in the prefix makes the key
+undecidable, and :func:`pattern_shard_key` returns ``None``: the caller
+falls back to the bounded scatter.
+
+Infrastructure tuples — first field a string starting with ``"_"`` (the
+space-info tuple, telemetry rows) — are never sharded: every instance
+keeps its own, exactly as with the fabric off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tuples.model import Actual, Pattern, Tuple
+
+
+def _token(value) -> str:
+    """A stable, collision-resistant text token for one field value."""
+    return f"{type(value).__name__}:{value!r}"
+
+
+def is_infrastructure(tup: Tuple) -> bool:
+    """True for tuples the fabric must leave in the local space."""
+    first = tup.fields[0]
+    return isinstance(first, str) and first.startswith("_")
+
+
+def pattern_is_infrastructure(pattern: Pattern) -> bool:
+    """True when a pattern's first spec pins an infrastructure tag."""
+    first = pattern.specs[0]
+    return (isinstance(first, Actual) and isinstance(first.value, str)
+            and first.value.startswith("_"))
+
+
+def shard_key(tup: Tuple, key_fields: int = 1) -> str:
+    """The shard key a tuple is placed under."""
+    prefix = tup.fields[:min(tup.arity, key_fields)]
+    return "|".join([str(tup.arity)] + [_token(f) for f in prefix])
+
+
+def pattern_shard_key(pattern: Pattern, key_fields: int = 1) -> Optional[str]:
+    """The shard key a pattern routes to, or None for scatter.
+
+    Returns a key only when every spec in the pattern's ``key_fields``
+    prefix is an :class:`Actual` — the one case where the pattern's
+    matches all live under a single shard key.
+    """
+    prefix = pattern.specs[:min(pattern.arity, key_fields)]
+    tokens = []
+    for spec in prefix:
+        if not isinstance(spec, Actual):
+            return None
+        tokens.append(_token(spec.value))
+    return "|".join([str(pattern.arity)] + tokens)

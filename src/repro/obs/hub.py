@@ -430,3 +430,44 @@ class Observability:
         self.observe_lease_manager(instance.leases, node)
         self.observe_reliability(instance.reliability, node)
         self.observe_server(instance.server, node)
+        if getattr(instance, "fabric", None) is not None:
+            self.observe_fabric(instance.fabric, node, key)
+
+    def observe_fabric(self, fabric, node: str, key) -> None:
+        """Wire one instance's fabric layer into the registry.
+
+        The scatter-width histogram is registered by the fabric manager
+        itself (it observes on the hot path); this adds the shard-map
+        version gauge — map churn and inter-node skew are visible by
+        comparing it across nodes — and the migration/promotion/
+        replication counters.
+        """
+        reg = self.registry
+
+        def version():
+            yield (node,), float(fabric.map.version)
+
+        reg.callback("fabric_map_version", version,
+                     help="Monotonic local shard-map version (bumps on "
+                          "every renewal, sweep, or merge).",
+                     labels=("node",), kind="gauge", key=("fabric", key))
+
+        def events():
+            yield (node, "deposit_routed"), fabric.deposits_routed
+            yield (node, "deposit_owned"), fabric.deposits_owned
+            yield (node, "replica_stored"), fabric.replicas_stored
+            yield (node, "invalidation"), fabric.invalidations
+            yield (node, "migration_out"), fabric.migrations_out
+            yield (node, "migration_in"), fabric.migrations_in
+            yield (node, "migration_dropped"), fabric.migrations_dropped
+            yield (node, "promotion"), fabric.promotions
+            yield (node, "promotion_purge"), fabric.promotion_purges
+            yield (node, "map_push"), fabric.map_pushes
+
+        reg.callback("fabric_events_total", events,
+                     help="Fabric lifecycle events by node: routed/owned "
+                          "deposits, replication, invalidation, two-phase "
+                          "migrations, witness-verified promotions, map "
+                          "pushes.",
+                     labels=("node", "event"), kind="counter",
+                     key=("fabric_events", key))

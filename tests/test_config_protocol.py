@@ -70,9 +70,13 @@ def test_all_kinds_is_complete_and_unique():
         protocol.REMOTE_OUT, protocol.REMOTE_OUT_ACK, protocol.RELAY_OUT,
         protocol.REL_ACK,
         protocol.SYNC_REQUEST, protocol.SYNC_RESPONSE,
+        protocol.FABRIC_MAP, protocol.FABRIC_OUT, protocol.FABRIC_REPL,
+        protocol.FABRIC_INVAL, protocol.FABRIC_MIGRATE,
+        protocol.FABRIC_MIGRATE_ACK,
     ]
     assert len(kinds) == len(set(kinds))
     assert protocol.ALL_KINDS == frozenset(kinds)
+    assert protocol.FABRIC_KINDS < protocol.ALL_KINDS
 
 
 def test_kind_strings_are_stable():
@@ -86,3 +90,9 @@ def test_kind_strings_are_stable():
     assert protocol.REMOTE_OUT == "remote_out"
     assert protocol.SYNC_REQUEST == "sync_request"
     assert protocol.SYNC_RESPONSE == "sync_response"
+    assert protocol.FABRIC_MAP == "fabric_map"
+    assert protocol.FABRIC_OUT == "fabric_out"
+    assert protocol.FABRIC_REPL == "fabric_repl"
+    assert protocol.FABRIC_INVAL == "fabric_inval"
+    assert protocol.FABRIC_MIGRATE == "fabric_migrate"
+    assert protocol.FABRIC_MIGRATE_ACK == "fabric_migrate_ack"
