@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Asyncio-runtime perf baseline harness + CI regression gate.
+
+Runs the ``repro.bench.aio`` suite and either records the result as the
+committed baseline (``BENCH_aio.json``) or checks a fresh run against it.
+Two planes ride in the document:
+
+* ``metrics`` — gated, lower-is-better ns: the zero-copy codec hot path
+  (pooled encode, buffer decode, frame round-trip).  The CI gate fails
+  on a >25% median regression, same policy as ``BENCH_micro.json``.
+* ``info`` — informational only: sustained echo round-trips/s over real
+  UDP loopback sockets, plus buffer-pool hit counters.  Higher is
+  better and runner-noisy, so the gate never reads it; it is committed
+  for trajectory, reviewed by humans.
+
+Usage::
+
+    python benchmarks/aio_baseline.py                 # measure + print
+    python benchmarks/aio_baseline.py --rebaseline    # rewrite BENCH_aio.json
+    python benchmarks/aio_baseline.py --check         # gate: exit 1 on regression
+    python benchmarks/aio_baseline.py --check --inject-slowdown 2
+                                                      # prove the gate trips
+
+**Rebaseline policy**: as for the micro-ops gate — rebaseline locally in
+the same PR as the intentional perf change, explain it in the PR
+description, and never rebaseline to silence a regression you cannot
+explain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from perf_baseline import (  # noqa: E402 - sibling harness, shared helpers
+    load_baseline,
+    runner_fingerprint,
+)
+
+from repro.bench import aio as bench_aio  # noqa: E402
+from repro.bench import perf  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_aio.json")
+
+
+def build_document(doc: dict) -> dict:
+    return {
+        "schema": perf.SCHEMA_VERSION,
+        "generated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "runner": runner_fingerprint(),
+        "units": {"*_ns": "median ns/op",
+                  "*_ops_per_s": "sustained ops/s (informational)"},
+        "metrics": doc["metrics"],
+        "info": doc["info"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default BENCH_aio.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 1 on regression")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="write the measured metrics as the new baseline")
+    parser.add_argument("--tolerance", type=float,
+                        default=perf.DEFAULT_TOLERANCE,
+                        help="relative regression tolerated (default 0.25)")
+    parser.add_argument("--inject-slowdown", type=int, default=1,
+                        metavar="N",
+                        help="run every timed operation N times per iteration "
+                             "(gate-verification only)")
+    parser.add_argument("--loopback-count", type=int, default=3000,
+                        help="echo round-trips for the throughput figure")
+    args = parser.parse_args(argv)
+
+    if args.inject_slowdown != 1:
+        print(f"[aio] synthetic slowdown x{args.inject_slowdown} "
+              "(gate verification mode)")
+    doc = bench_aio.collect(slowdown=args.inject_slowdown,
+                            loopback_count=args.loopback_count)
+
+    baseline = None
+    if args.check or (os.path.exists(args.baseline) and not args.rebaseline):
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            baseline = None
+
+    print(perf.render_table(doc["metrics"], baseline))
+    info = doc["info"]
+    print(f"\n[aio] loopback: {info['loopback_echo_ops_per_s']:,.0f} "
+          f"pipelined echo ops/s, {info['loopback_sync_echo_ops_per_s']:,.0f} "
+          "sync ops/s (informational, not gated)")
+    target = bench_aio.ROUNDTRIP_TARGET_NS
+    measured = doc["metrics"]["aio_codec_roundtrip_ns"]
+    verdict = "OK" if measured <= target else "MISS"
+    print(f"[aio] round-trip target {target:.0f} ns: measured "
+          f"{measured:.0f} ns [{verdict}]")
+
+    if args.rebaseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(build_document(doc), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n[aio] baseline written to {args.baseline}")
+        return 0
+
+    if args.check:
+        if baseline is None:
+            print(f"\n[aio] FAIL: no baseline at {args.baseline} "
+                  "(run --rebaseline and commit it)")
+            return 1
+        problems = perf.compare(baseline, doc["metrics"],
+                                tolerance=args.tolerance)
+        if problems:
+            print("\n[aio] FAIL: regression gate tripped:")
+            for line in problems:
+                print(f"  - {line}")
+            print("\nIf this change is intentional, rebaseline per the "
+                  "policy in this script's docstring.")
+            return 1
+        print(f"\n[aio] OK: all metrics within {args.tolerance:.0%} "
+              "of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

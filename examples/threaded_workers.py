@@ -15,7 +15,7 @@ because the logical space re-samples visibility on every probe.
 import threading
 import time
 
-from repro.runtime import ThreadedNodeRegistry, ThreadedTiamatNode
+from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
 from repro.tuples import Formal, Pattern, Tuple
 
 JOBS = 24

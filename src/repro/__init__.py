@@ -21,12 +21,24 @@ Package map
 ``repro.baselines``    the five compared systems
 ``repro.apps``         web client/proxy and fractal sample applications
 ``repro.bench``        harness utilities for the benchmark scripts
-``repro.runtime``      real-thread runtime for the same tuple-space kernel
+``repro.runtime``      real substrates: threads, asyncio UDP, front door
 =====================  ====================================================
 
-Quickstart: see ``examples/quickstart.py`` and the README.
+Quickstart — one front door for every execution substrate::
+
+    import repro
+    from repro.tuples import Pattern, Tuple
+
+    with repro.connect(runtime="aio") as rt:     # or "sim" / "threads"
+        a, b = rt.node("a"), rt.node("b")
+        rt.set_visible("a", "b")
+        b.out(Tuple("job", 1))
+        a.inp(Pattern("job", int))               # -> Tuple('job', 1)
+
+See also ``examples/quickstart.py`` and the README.
 """
 
+import warnings
 from typing import Optional
 
 from repro.core import (
@@ -39,24 +51,34 @@ from repro.core import (
 )
 from repro.leasing import LeaseTerms, SimpleLeaseRequester
 from repro.net import Network, VisibilityGraph
+from repro.runtime.api import (
+    TiamatNodeHandle,
+    TiamatRuntime,
+    connect,
+)
 from repro.sim import Simulator
 from repro.tuples import ANY, Formal, Pattern, Range, Tuple
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def create_instance(sim: Simulator, network: Network, name: str, *,
                     config: Optional[TiamatConfig] = None,
                     **kwargs) -> TiamatInstance:
-    """The one canonical way to construct a Tiamat node.
+    """Deprecated: construct a sim-bound Tiamat node directly.
 
-    Equivalent to ``TiamatInstance(sim, network, name, config=config,
-    ...)`` with every tunable keyword-only — ``policy``,
-    ``storage_capacity``, ``thread_capacity``, ``router``, and ``space``
-    pass straight through.  Exists so application code has a single,
-    stable entry point while the class constructor completes its
-    keyword-only migration (see ``docs/API.md``).
+    Superseded by :func:`repro.connect` — ``create_instance`` only ever
+    built nodes for the simulation substrate, while the front door
+    constructs any of the three runtimes behind one handle vocabulary.
+    Still equivalent to ``TiamatInstance(sim, network, name,
+    config=config, ...)`` with every tunable keyword-only; see the
+    deprecation table in ``docs/API.md``.
     """
+    warnings.warn(
+        "repro.create_instance is deprecated; use repro.connect("
+        "runtime='sim') for the front door, or construct TiamatInstance "
+        "directly for bespoke sim wiring",
+        DeprecationWarning, stacklevel=2)
     return TiamatInstance(sim, network, name, config=config, **kwargs)
 
 
@@ -74,9 +96,12 @@ __all__ = [
     "SpaceHandle",
     "TiamatConfig",
     "TiamatInstance",
+    "TiamatNodeHandle",
+    "TiamatRuntime",
     "Tuple",
     "UnavailablePolicy",
     "VisibilityGraph",
     "__version__",
+    "connect",
     "create_instance",
 ]

@@ -1,13 +1,14 @@
-"""Differential conformance: the sim and threaded runtimes must agree.
+"""Differential conformance: all three runtimes must agree.
 
-The repository's central claim about its two execution substrates is that
+The repository's central claim about its execution substrates is that
 they implement the *same* logical-tuple-space semantics: the deterministic
-simulation (``repro.core`` over ``repro.sim``) and the threaded runtime
-(``repro.runtime`` over real locks and threads).  This module makes the
-claim testable: one seeded :class:`ScriptedWorkload` — a sequential program
-of ``out``/``in``/``rd``/``inp``/``rdp``/``eval`` steps over a small clique
-of nodes — is driven through **both** runtimes, and the observable outcomes
-are diffed:
+simulation (``repro.core`` over ``repro.sim``), the threaded runtime
+(``repro.runtime.node`` over real locks and threads), and the asyncio UDP
+runtime (``repro.runtime.aio`` over real datagram sockets on loopback).
+This module makes the claim testable: one seeded :class:`ScriptedWorkload`
+— a sequential program of ``out``/``in``/``rd``/``inp``/``rdp``/``eval``
+steps over a small clique of nodes — is driven through **every** runtime,
+and the observable outcomes are diffed:
 
 * the multiset of tuples destructively consumed (with the op and outcome
   of every step), and
@@ -24,7 +25,7 @@ Workloads are constructed so agreement is *required*, not probabilistic:
   starts — so there are no cross-step races to resolve;
 * deposits use leases far longer than the run, so nothing expires.
 
-Any divergence is therefore a genuine semantic difference between the two
+Any divergence is therefore a genuine semantic difference between the
 runtimes, reported step-by-step in :class:`DifferentialResult`.
 """
 
@@ -239,33 +240,112 @@ def run_threaded(workload: ScriptedWorkload,
     return transcript
 
 
+def run_aio(workload: ScriptedWorkload,
+            timeout: float = 10.0) -> RuntimeTranscript:
+    """Drive the workload through the asyncio UDP runtime (loopback).
+
+    Nodes bind ephemeral ports on 127.0.0.1, so the run is CI-safe: no
+    fixed ports, no off-host traffic.  The driver is the threaded one's
+    shape — strictly sequential synchronous calls against the facade —
+    while every inter-node probe underneath travels as a real datagram.
+    """
+    from repro.runtime.aio import AioNodeRegistry, AioTiamatNode
+
+    transcript = RuntimeTranscript("aio")
+    errors: List[str] = []
+    with AioNodeRegistry() as registry:
+        nodes = {name: AioTiamatNode(registry, name)
+                 for name in workload.nodes}
+        names = list(workload.nodes)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                registry.set_visible(a, b, True)
+        for index, step in enumerate(workload.steps):
+            node = nodes[step.node]
+            if step.kind == "out":
+                node.out(step.tup, lease_duration=_LONG_LEASE)
+                continue
+            if step.kind == "eval":
+                future = node.eval(_eval_square, step.tup.fields[1],
+                                   lease_duration=_LONG_LEASE)
+                try:
+                    future.result(timeout)
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    errors.append(f"step {index}: eval failed: {exc!r}")
+                continue
+            pattern = Pattern.for_tuple(step.tup)
+            if step.kind in ("in", "rd"):
+                result = getattr(node, "in_" if step.kind == "in" else "rd")(
+                    pattern, timeout=timeout)
+            else:
+                result = getattr(node, step.kind)(pattern)
+            if step.kind in ("inp", "in"):
+                transcript.consumed.append(
+                    (index, step.kind, step.node, result))
+            else:
+                transcript.observed.append(
+                    (index, step.kind, step.node, result))
+            if result != step.tup:
+                errors.append(f"step {index}: {step.kind} @{step.node} got "
+                              f"{result!r}, expected {step.tup!r}")
+        if errors:
+            raise AssertionError("aio driver mismatches: "
+                                 + "; ".join(errors))
+        transcript.final = _final_snapshot(
+            {name: node.space.snapshot() for name, node in nodes.items()})
+    return transcript
+
+
+#: Runtime name -> driver, in canonical comparison order.
+RUNTIME_DRIVERS = {
+    "sim": run_sim,
+    "threaded": run_threaded,
+    "aio": run_aio,
+}
+
+
 # ----------------------------------------------------------------------
 # Comparison
 # ----------------------------------------------------------------------
 class DifferentialResult:
-    """Outcome of one sim-vs-threaded conformance run."""
+    """Outcome of one N-way conformance run (sim is the reference)."""
 
     def __init__(self, seed: int, sim: RuntimeTranscript,
-                 threaded: RuntimeTranscript) -> None:
+                 *others: RuntimeTranscript) -> None:
         self.seed = seed
         self.sim = sim
-        self.threaded = threaded
+        self.transcripts = {"sim": sim}
+        for transcript in others:
+            self.transcripts[transcript.runtime] = transcript
         self.mismatches: List[str] = []
-        self._diff()
+        for transcript in others:
+            self._diff(transcript)
 
-    def _diff(self) -> None:
-        if self.sim.consumed_multiset() != self.threaded.consumed_multiset():
+    @property
+    def threaded(self) -> Optional[RuntimeTranscript]:
+        """The threaded transcript (kept for the historical 2-way API)."""
+        return self.transcripts.get("threaded")
+
+    @property
+    def aio(self) -> Optional[RuntimeTranscript]:
+        return self.transcripts.get("aio")
+
+    def _diff(self, other: RuntimeTranscript) -> None:
+        name = other.runtime
+        if self.sim.consumed_multiset() != other.consumed_multiset():
             self.mismatches.append(
                 f"consumed multisets differ: sim={self.sim.consumed_multiset()} "
-                f"threaded={self.threaded.consumed_multiset()}")
-        if self.sim.consumed != self.threaded.consumed:
-            self.mismatches.append("per-step consumption transcripts differ")
-        if self.sim.observed != self.threaded.observed:
-            self.mismatches.append("per-step read transcripts differ")
-        if self.sim.final != self.threaded.final:
+                f"{name}={other.consumed_multiset()}")
+        if self.sim.consumed != other.consumed:
+            self.mismatches.append(
+                f"per-step consumption transcripts differ (sim vs {name})")
+        if self.sim.observed != other.observed:
+            self.mismatches.append(
+                f"per-step read transcripts differ (sim vs {name})")
+        if self.sim.final != other.final:
             self.mismatches.append(
                 f"final store contents differ: sim={self.sim.final} "
-                f"threaded={self.threaded.final}")
+                f"{name}={other.final}")
 
     @property
     def agree(self) -> bool:
@@ -273,15 +353,28 @@ class DifferentialResult:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         verdict = "agree" if self.agree else f"{len(self.mismatches)} diffs"
-        return f"<DifferentialResult seed={self.seed} {verdict}>"
+        runtimes = "/".join(self.transcripts)
+        return f"<DifferentialResult seed={self.seed} {runtimes} {verdict}>"
 
 
 def run_differential(seed: int, steps: int = 40,
-                     workload: Optional[ScriptedWorkload] = None) -> DifferentialResult:
-    """Run one scripted workload through both runtimes and diff."""
+                     workload: Optional[ScriptedWorkload] = None,
+                     runtimes: tuple = ("sim", "threaded"),
+                     ) -> DifferentialResult:
+    """Run one scripted workload through the named runtimes and diff.
+
+    ``runtimes`` selects from :data:`RUNTIME_DRIVERS`; the sim reference
+    always runs (and runs first), whether named or not.  The default
+    stays the historical sim-vs-threaded pair; pass
+    ``("sim", "threaded", "aio")`` for the full three-way check.
+    """
     workload = workload if workload is not None else ScriptedWorkload(
         seed, steps=steps)
+    unknown = [r for r in runtimes if r not in RUNTIME_DRIVERS]
+    if unknown:
+        raise ValueError(f"unknown runtimes {unknown!r}: expected a subset "
+                         f"of {tuple(RUNTIME_DRIVERS)}")
     sim_transcript = run_sim(workload)
-    threaded_transcript = run_threaded(workload)
-    return DifferentialResult(workload.seed, sim_transcript,
-                              threaded_transcript)
+    others = [RUNTIME_DRIVERS[name](workload)
+              for name in runtimes if name != "sim"]
+    return DifferentialResult(workload.seed, sim_transcript, *others)

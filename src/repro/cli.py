@@ -66,6 +66,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 from repro.apps import RequestResponseWorkload
 from repro.bench import SYSTEMS, Table, build_system
@@ -181,7 +182,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_trace_threads(args: argparse.Namespace) -> int:
     """Trace one blocking take on the real-thread runtime (wall clock)."""
-    from repro.runtime import ThreadedNodeRegistry, ThreadedTiamatNode
+    from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
 
     registry = ThreadedNodeRegistry()
     a = ThreadedTiamatNode(registry, "a")
@@ -281,7 +282,7 @@ def _cmd_top_threads(args: argparse.Namespace) -> int:
     import time
 
     from repro.obs.telemetry import render_top
-    from repro.runtime import ThreadedNodeRegistry, ThreadedTiamatNode
+    from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
 
     period = 0.2
     registry = ThreadedNodeRegistry()
@@ -571,19 +572,56 @@ def cmd_wal(args: argparse.Namespace) -> int:
 
 
 def cmd_differential(args: argparse.Namespace) -> int:
-    """Sim vs threaded runtime conformance over scripted workloads."""
+    """Cross-runtime conformance over scripted workloads."""
     from repro.check.differential import run_differential
 
+    runtimes = tuple(r.strip() for r in args.runtimes.split(",") if r.strip())
     failures = 0
     for seed in range(args.seed, args.seed + args.seeds):
-        result = run_differential(seed, steps=args.steps)
+        result = run_differential(seed, steps=args.steps, runtimes=runtimes)
         verdict = "agree" if result.agree else "DIVERGE"
-        print(f"seed {seed}: {verdict} "
+        print(f"seed {seed}: {verdict} across {'/'.join(result.transcripts)} "
               f"(consumed {len(result.sim.consumed)} tuples)")
         for mismatch in result.mismatches:
             failures += 1
             print(f"  {mismatch}")
     return 0 if failures == 0 else 1
+
+
+def cmd_aio_echo(args: argparse.Namespace) -> int:
+    """Loopback UDP smoke: two aio nodes round-trip real datagrams.
+
+    Builds an :mod:`repro.runtime.aio` cluster on 127.0.0.1 (ephemeral
+    ports), echoes ``--count`` tuples off a peer, and performs one remote
+    take — proving that sockets, the frame codec, the zero-copy send
+    path, and the request/response machinery all work on this host.
+    """
+    import repro
+    from repro.tuples import Pattern, Tuple
+
+    with repro.connect(runtime="aio") as rt:
+        ping = rt.node("ping")
+        pong = rt.node("pong")
+        rt.set_visible("ping", "pong")
+        start = time.perf_counter()
+        for i in range(args.count):
+            echoed = ping.echo(pong.addr, Tuple("echo", i, "payload"))
+            if echoed != Tuple("echo", i, "payload"):
+                print(f"echo {i} FAILED: got {echoed!r}")
+                return 1
+        elapsed = time.perf_counter() - start
+        pong.out(Tuple("smoke", args.count))
+        taken = ping.inp(Pattern("smoke", int))
+        stats = ping.stats()
+        rate = args.count / elapsed if elapsed > 0 else float("inf")
+        print(f"{args.count} echoes over UDP loopback in {elapsed*1e3:.1f} ms "
+              f"({rate:,.0f} round-trips/s)")
+        print(f"remote take: {taken!r}")
+        print(f"frames sent={stats['frames_sent']} "
+              f"received={stats['frames_received']} "
+              f"retransmits={stats['retransmits']} "
+              f"pool={stats['pool']}")
+        return 0 if taken == Tuple("smoke", args.count) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -713,11 +751,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     differential = sub.add_parser(
         "differential",
-        help="sim vs threaded runtime conformance (scripted workloads)")
+        help="cross-runtime conformance (scripted workloads)")
     differential.add_argument("--seeds", type=int, default=5,
                               help="number of seeds to run (default 5)")
     differential.add_argument("--steps", type=int, default=40,
                               help="workload steps per seed (default 40)")
+    differential.add_argument(
+        "--runtimes", default="sim,threaded",
+        help="comma-separated runtimes to compare against sim "
+             "(default sim,threaded; full check: sim,threaded,aio)")
+
+    aio_echo = sub.add_parser(
+        "aio-echo",
+        help="UDP loopback smoke for the asyncio runtime")
+    aio_echo.add_argument("--count", type=int, default=100,
+                          help="echo round-trips to perform (default 100)")
     return parser
 
 
@@ -732,6 +780,7 @@ _COMMANDS = {
     "perf": cmd_perf,
     "check": cmd_check,
     "differential": cmd_differential,
+    "aio-echo": cmd_aio_echo,
     "wal": cmd_wal,
     "flight": cmd_flight,
     "top": cmd_top,

@@ -47,7 +47,12 @@ from repro.net.network import Network
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.tuples import LocalTupleSpace, Pattern, Tuple
-from repro.tuples.serialization import decode_tuple, encode_tuple, encoded_size
+from repro.tuples.serialization import (
+    decode_tuple,
+    encode_tuple,
+    encoded_size,
+    ensure_codec_match,
+)
 
 _rids = itertools.count(1)
 
@@ -96,16 +101,12 @@ class TiamatInstance:
         self.name = name
         self.config = config if config is not None else TiamatConfig()
         # The wire codec is a property of the *network* (every attached node
-        # must speak it); an instance explicitly configured for a different
-        # codec is a deployment error, caught here rather than as garbled
-        # frames later.  The default ("json") accepts any network codec for
-        # backward compatibility.
-        if (self.config.wire_codec != "json"
-                and self.config.wire_codec != network.codec.name):
-            raise ValueError(
-                f"config.wire_codec={self.config.wire_codec!r} but the "
-                f"network encodes with {network.codec.name!r}; construct "
-                f"the Network with codec={self.config.wire_codec!r}")
+        # must speak it); an instance configured for a different codec is a
+        # deployment error, caught here rather than as garbled frames
+        # later.  Symmetric across runtimes: the threaded registry and aio
+        # cluster run the same check at construction.
+        ensure_codec_match(self.config.wire_codec, network.codec,
+                           transport="Network")
         self.leases = LeaseManager(sim, policy=policy,
                                    storage_capacity=storage_capacity,
                                    thread_capacity=thread_capacity)

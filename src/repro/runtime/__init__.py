@@ -1,25 +1,69 @@
-"""Real-thread runtime for the tuple-space kernel.
+"""Real-substrate runtimes for the tuple-space kernel.
 
 Everything in :mod:`repro.core` runs over the discrete-event simulator so
 experiments are deterministic and scale on one machine.  This package
-demonstrates that the model is not simulator-bound: the same tuple/pattern
-substrate drives a **thread-safe tuple space** with genuinely blocking
-``rd``/``in`` (condition variables, wall-clock lease deadlines) and a
-**threaded Tiamat node** whose logical space spans other nodes in the
-process, linked by an explicit visibility set.
+demonstrates that the model is not simulator-bound, twice over:
 
-The threaded runtime mirrors the paper's prototype shape (Java threads +
-sockets) at the semantic level; the inter-node transport is an in-process
-registry rather than real sockets, which keeps the tests hermetic while
-exercising true concurrency.
+* :mod:`repro.runtime.node` — a **threaded** runtime: thread-safe tuple
+  space with genuinely blocking ``rd``/``in`` (condition variables,
+  wall-clock lease deadlines) and nodes linked by an in-process registry,
+  exercising true concurrency while staying hermetic;
+* :mod:`repro.runtime.aio` — an **asyncio UDP** runtime: the same node
+  semantics over real datagram sockets (unicast + optional multicast
+  discovery), with a zero-copy encode/send path — the closest shape to
+  the paper's prototype (threads + sockets on physical devices).
+
+:mod:`repro.runtime.api` fronts all substrates (including the sim) with
+one constructor — ``repro.connect(runtime="sim"|"threads"|"aio")`` — and
+one node-handle vocabulary.  Prefer it for new code: importing
+``ThreadedNodeRegistry``/``ThreadedTiamatNode`` from *this* package is
+deprecated (import from :mod:`repro.runtime.node` directly, or use
+``repro.connect``).
 """
 
+import warnings
+
+from repro.runtime.api import (
+    AioRuntime,
+    SimRuntime,
+    ThreadsRuntime,
+    TiamatNodeHandle,
+    TiamatRuntime,
+    connect,
+)
+from repro.runtime.node import SHED
 from repro.runtime.space import ThreadSafeTupleSpace
-from repro.runtime.node import SHED, ThreadedNodeRegistry, ThreadedTiamatNode
 
 __all__ = [
+    "AioRuntime",
     "SHED",
+    "SimRuntime",
     "ThreadSafeTupleSpace",
     "ThreadedNodeRegistry",
     "ThreadedTiamatNode",
+    "ThreadsRuntime",
+    "TiamatNodeHandle",
+    "TiamatRuntime",
+    "connect",
 ]
+
+#: Names that still resolve here but now warn: the threaded classes moved
+#: behind the front door (repro.connect) in v1.2; their canonical import
+#: path is repro.runtime.node.
+_DEPRECATED = ("ThreadedNodeRegistry", "ThreadedTiamatNode")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        warnings.warn(
+            f"importing {name} from repro.runtime is deprecated; use "
+            f"repro.connect(runtime='threads') or import it from "
+            f"repro.runtime.node",
+            DeprecationWarning, stacklevel=2)
+        from repro.runtime import node
+        return getattr(node, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,933 @@
+"""Asyncio UDP runtime: Tiamat nodes over real sockets on an event loop.
+
+The third execution substrate beside the deterministic simulation
+(:mod:`repro.core` over :mod:`repro.sim`) and the threaded runtime
+(:mod:`repro.runtime.node`): each :class:`AioTiamatNode` owns a real UDP
+socket bound on the cluster host (loopback by default, ephemeral port so
+tests never collide), and every inter-node operation travels as a
+datagram — mirroring the paper's prototype, which ran the protocol over
+IP on physical devices.  Semantics are the threaded runtime's, bit for
+bit where the differential harness can see them: ``out`` deposits
+locally, probes walk the currently visible peers in sorted order through
+their admission gates, blocking operations poll the opportunistic
+logical space until match or deadline, ``eval`` runs the active tuple on
+a worker and deposits its result locally.
+
+Transport shape
+---------------
+* **Frames are codec payload dicts** — the same binary LEB128 payload
+  encoding (or the JSON codec, per ``TiamatConfig.wire_codec``) the
+  simulated network prices, so the wire format is shared across all
+  three runtimes rather than reinvented here.
+* **Per-peer send queues with same-tick coalescing**: frames queued for
+  a peer within one event-loop tick are flushed together, as one
+  datagram per peer per tick (a ``{"k": "b"}`` batch envelope when more
+  than one frame rode the tick) — one wakeup, one syscall.
+* **Zero-copy hot path**: frames are encoded straight into pooled
+  ``bytearray`` buffers (:class:`BufferPool`) and handed to the kernel
+  as a ``memoryview`` via the socket's own ``sendto`` — no intermediate
+  ``bytes`` object per send; receive-side decode is buffer-aware
+  (:func:`repro.tuples.serialization.decode_payload_binary` walks the
+  datagram without copying it first).
+* **Reliability**: every query carries a request id; the origin
+  retransmits on a capped exponential schedule (``config.retry_*``)
+  until answered or out of budget, and the serving side keeps a bounded
+  cache of completed answers so a retransmitted destructive ``inp`` is
+  answered *idempotently* — exactly-once consumption over a lossy wire.
+* **Multicast discovery** (opt-in): nodes additionally join a multicast
+  group derived from the cluster's space name
+  (:func:`multicast_group_for`) and answer ``DISCOVER`` datagrams with
+  their unicast address, mirroring the paper's discovery multicast.
+
+See ``docs/PROTOCOL.md`` §12 for the frame vocabulary and the buffer
+pool lifecycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import json
+import random
+import socket
+import struct
+import threading
+import time
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Tuple as PyTuple,
+    Union,
+)
+
+from repro.obs import Observability
+from repro.runtime.node import SHED, _ShedType
+from repro.runtime.space import ThreadSafeTupleSpace
+from repro.tuples.model import Pattern, Tuple
+from repro.tuples.serialization import (
+    WireCodec,
+    decode_pattern,
+    decode_payload_binary,
+    decode_tuple,
+    encode_pattern,
+    encode_payload_into,
+    encode_tuple,
+    ensure_codec_match,
+)
+
+if TYPE_CHECKING:
+    from repro.core.config import TiamatConfig
+
+Addr = PyTuple[str, int]
+
+#: Frame kinds (the ``"k"`` payload key).
+QUERY = "q"            #: probe a peer's space (rdp/inp)
+RESPONSE = "r"         #: answer to a QUERY (hit/miss/shed)
+ECHO = "e"             #: echo request (CLI smoke + loopback bench)
+ECHO_REPLY = "er"      #: echo answer
+BATCH = "b"            #: same-tick coalescing envelope
+DISCOVER = "d"         #: multicast discovery probe
+DISCOVER_ACK = "da"    #: unicast discovery answer
+
+#: Frames coalesced into one datagram before the batch is force-flushed
+#: (keeps envelopes comfortably under the UDP payload ceiling).
+MAX_BATCH_FRAMES = 32
+
+
+def multicast_group_for(space: str) -> PyTuple[str, int]:
+    """Deterministic multicast (group, port) for a named space.
+
+    Groups land in the organisation-local 239.192.0.0/14 block (RFC 2365)
+    and ports in a fixed 30000-33999 window, both derived from a stable
+    hash of the space name — every device that knows the space name joins
+    the same group without coordination, the paper's discovery scheme.
+    """
+    digest = hashlib.sha256(space.encode("utf-8")).digest()
+    b1, b2, b3 = digest[0] & 0x03, digest[1], digest[2]
+    port = 30000 + int.from_bytes(digest[3:5], "big") % 4000
+    return f"239.{192 + b1}.{b2}.{b3}", port
+
+
+class BufferPool:
+    """A bounded free-list of reusable ``bytearray`` frame buffers.
+
+    ``acquire`` hands out an empty buffer (recycled when one is free,
+    freshly allocated otherwise); ``release`` clears and returns it to
+    the pool unless the pool is full.  Buffers the kernel has already
+    copied out of (``sendto`` is synchronous) are safe to recycle
+    immediately, which is what makes the encode path allocation-free in
+    steady state.
+    """
+
+    __slots__ = ("capacity", "_free", "hits", "misses", "returned")
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = capacity
+        self._free: List[bytearray] = []
+        self.hits = 0
+        self.misses = 0
+        self.returned = 0
+
+    def acquire(self) -> bytearray:
+        if self._free:
+            self.hits += 1
+            return self._free.pop()
+        self.misses += 1
+        return bytearray()
+
+    def release(self, buf: bytearray) -> None:
+        if len(self._free) < self.capacity:
+            del buf[:]
+            self._free.append(buf)
+            self.returned += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "returned": self.returned, "free": len(self._free)}
+
+
+# ---------------------------------------------------------------------------
+# Frame codecs: TiamatConfig.wire_codec applied to aio datagrams
+# ---------------------------------------------------------------------------
+_TUPLE_KEYS = ("t",)
+_PATTERN_KEYS = ("p",)
+
+
+def _frame_to_jsonable(frame: dict) -> dict:
+    out: dict = {}
+    for key, value in frame.items():
+        if isinstance(value, Tuple):
+            out[key] = encode_tuple(value)
+        elif isinstance(value, Pattern):
+            out[key] = encode_pattern(value)
+        elif key == "f":
+            out[key] = [_frame_to_jsonable(sub) for sub in value]
+        else:
+            out[key] = value
+    return out
+
+
+def _frame_from_jsonable(frame: dict) -> dict:
+    out: dict = {}
+    for key, value in frame.items():
+        if key in _TUPLE_KEYS:
+            out[key] = decode_tuple(value)
+        elif key in _PATTERN_KEYS:
+            out[key] = decode_pattern(value)
+        elif key == "f":
+            out[key] = [_frame_from_jsonable(sub) for sub in value]
+        else:
+            out[key] = value
+    return out
+
+
+class _BinaryFrames:
+    """Binary frame codec: payload dicts carry tuples/patterns natively."""
+
+    name = "binary"
+
+    @staticmethod
+    def encode_into(buf: bytearray, frame: dict) -> None:
+        encode_payload_into(buf, frame)
+
+    @staticmethod
+    def decode(data: Union[bytes, memoryview]) -> dict:
+        return decode_payload_binary(data)
+
+
+class _JsonFrames:
+    """JSON frame codec: tuples/patterns ride in their tag-first forms."""
+
+    name = "json"
+
+    @staticmethod
+    def encode_into(buf: bytearray, frame: dict) -> None:
+        buf += json.dumps(_frame_to_jsonable(frame),
+                          separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def decode(data: Union[bytes, memoryview]) -> dict:
+        return _frame_from_jsonable(json.loads(bytes(data)))
+
+
+class _AioProtocol(asyncio.DatagramProtocol):
+    """Datagram endpoint: hands received frames to the owning node."""
+
+    def __init__(self, node: "AioTiamatNode") -> None:
+        self.node = node
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr: Addr) -> None:
+        self.node._on_datagram(data, addr)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        self.node.transport_errors += 1
+
+
+class AioNodeRegistry:
+    """A cluster of aio nodes: background event loop + visibility relation.
+
+    Plays the :class:`~repro.runtime.node.ThreadedNodeRegistry` role —
+    records which nodes exist and which pairs see each other — but the
+    registry carries *addresses only*; every probe, answer and discovery
+    exchange travels through the nodes' UDP sockets.  One event loop on a
+    daemon thread drives every member node, so the synchronous facade
+    (``node.rdp(...)`` from test or application threads) and the native
+    ``async`` API (``await node.a_rdp(...)`` from loop code) coexist.
+
+    ``loss_rate``/``loss_seed`` inject seeded, deterministic datagram
+    loss at the send boundary — the chaos knob the retransmit tests and
+    the T10-style smoke lean on.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1",
+                 config: Optional["TiamatConfig"] = None,
+                 codec: Union[str, WireCodec, None] = None,
+                 loss_rate: float = 0.0, loss_seed: int = 0,
+                 multicast: Optional[PyTuple[str, int]] = None) -> None:
+        from repro.core.config import TiamatConfig
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.config = config if config is not None else TiamatConfig()
+        self.codec = ensure_codec_match(self.config.wire_codec, codec,
+                                        transport="cluster")
+        self.frames = (_BinaryFrames if self.codec.name == "binary"
+                       else _JsonFrames)
+        self.host = host
+        self.loss_rate = loss_rate
+        self._loss_rng = random.Random(loss_seed)
+        self.frames_dropped = 0
+        self.multicast = multicast
+        self.obs = Observability(clock=time.monotonic, thread_safe=True)
+        self._lock = threading.Lock()
+        self._nodes: Dict[str, "AioTiamatNode"] = {}
+        self._edges: set = set()
+        self._closed = False
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name="aio-registry", daemon=True)
+        self._thread.start()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    def submit(self, coro) -> "asyncio.Future":
+        """Run a coroutine on the registry loop from any other thread."""
+        if self._closed:
+            coro.close()
+            raise RuntimeError("registry is closed")
+        if threading.current_thread() is self._thread:
+            coro.close()
+            raise RuntimeError(
+                "the synchronous facade must not be called from the "
+                "event-loop thread; use the async (a_*) API instead")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def lose_frame(self) -> bool:
+        """Seeded loss injection: True means drop this datagram."""
+        return self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate
+
+    # -- membership and visibility (the threaded registry's contract) ----
+    def register(self, node: "AioTiamatNode") -> None:
+        with self._lock:
+            self._nodes[node.name] = node
+
+    def set_visible(self, a: str, b: str, visible: bool = True) -> None:
+        if a == b:
+            return
+        edge = frozenset((a, b))
+        with self._lock:
+            if visible:
+                self._edges.add(edge)
+            else:
+                self._edges.discard(edge)
+
+    def visible_peers(self, name: str) -> List[PyTuple[str, Addr]]:
+        """(name, address) of nodes visible from ``name``, sorted by name."""
+        with self._lock:
+            peers = sorted(
+                other for edge in self._edges if name in edge
+                for other in edge if other != name
+            )
+            return [(p, self._nodes[p].addr) for p in peers
+                    if p in self._nodes]
+
+    def visible_nodes(self, name: str) -> List["AioTiamatNode"]:
+        return [self._nodes[p] for p, _ in self.visible_peers(name)]
+
+    def all_nodes(self) -> List["AioTiamatNode"]:
+        with self._lock:
+            return [self._nodes[name] for name in sorted(self._nodes)]
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregated cluster wire counters (plus per-node breakdown)."""
+        nodes = {node.name: node.stats() for node in self.all_nodes()}
+        total = {key: sum(n[key] for n in nodes.values())
+                 for key in ("frames_sent", "frames_received", "batches_sent",
+                             "bytes_sent", "retransmits", "dedup_served",
+                             "sheds")}
+        total["frames_dropped"] = self.frames_dropped
+        total["nodes"] = nodes
+        return total
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Close every node's socket and stop the event loop thread."""
+        if self._closed:
+            return
+        self._closed = True
+
+        async def _shutdown() -> None:
+            for node in self.all_nodes():
+                node._close_transports()
+
+        fut = asyncio.run_coroutine_threadsafe(_shutdown(), self._loop)
+        fut.result(timeout=5.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+
+    def __enter__(self) -> "AioNodeRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AioTiamatNode:
+    """One aio node: a local space plus opportunistic ops over UDP.
+
+    Synchronous methods (``out``/``rdp``/``inp``/``rd``/``in_``/``eval``)
+    mirror :class:`~repro.runtime.node.ThreadedTiamatNode` and may be
+    called from any thread except the event-loop thread; each has a
+    native ``a_``-prefixed coroutine twin for asyncio applications.
+    """
+
+    #: How often blocking operations re-sample visibility and re-probe.
+    POLL_INTERVAL = 0.005
+    #: Cap on the per-peer backoff an origin applies after being shed.
+    SHED_BACKOFF_MAX = 0.25
+    #: Wall-clock budget for one peer probe (first send to giving up).
+    PROBE_TIMEOUT = 1.0
+    #: Completed query answers kept for idempotent retransmit replies.
+    SERVED_CACHE = 512
+
+    def __init__(self, registry: AioNodeRegistry, name: str, *,
+                 max_concurrent_serves: Optional[int] = None,
+                 port: int = 0) -> None:
+        if max_concurrent_serves is not None and max_concurrent_serves < 1:
+            raise ValueError("max_concurrent_serves must be >= 1 or None")
+        self.registry = registry
+        self.name = name
+        self.space = ThreadSafeTupleSpace(name)
+        self.max_concurrent_serves = max_concurrent_serves
+        self._active_serves = 0
+        self._peer_backoff: Dict[str, PyTuple[int, float]] = {}
+        self._req_ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._served_cache: Dict[PyTuple[str, int], dict] = {}
+        self._served_order: List[PyTuple[str, int]] = []
+        self._send_queues: Dict[Addr, List[dict]] = {}
+        self._flush_scheduled = False
+        self._local_event: Optional[asyncio.Event] = None
+        self.pool = BufferPool()
+        # wire + op counters (cheap ints; the obs registry mirrors ops)
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.batches_sent = 0
+        self.bytes_sent = 0
+        self.retransmits = 0
+        self.dedup_served = 0
+        self.sheds = 0
+        self.transport_errors = 0
+        self.ops_started = 0
+        self.ops_unsatisfied = 0
+        self.force_shed = False  # test/bench hook: shed every probe
+        self._protocol: Optional[_AioProtocol] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._sock: Optional[socket.socket] = None
+        self._mcast_transport = None
+        self._mcast_sock: Optional[socket.socket] = None
+        self.addr: Addr = ("", 0)
+        reg = registry.obs.registry
+        self._ops_metric = reg.counter(
+            "runtime_ops_total",
+            help="Logical operations by node, operation, and outcome.",
+            labels=("node", "op", "outcome"))
+        self._serve_metric = reg.counter(
+            "runtime_serve_total",
+            help="Remote probes served or shed by each node.",
+            labels=("node", "outcome"))
+        registry.register(self)
+        fut = asyncio.run_coroutine_threadsafe(self._a_start(port),
+                                               registry.loop)
+        fut.result(timeout=10.0)
+
+    # ------------------------------------------------------------------
+    # Endpoint lifecycle (runs on the loop)
+    # ------------------------------------------------------------------
+    async def _a_start(self, port: int) -> None:
+        loop = asyncio.get_running_loop()
+        self._local_event = asyncio.Event()
+        # Bind the socket ourselves and hand it to asyncio: the transport's
+        # get_extra_info("socket") is a TransportSocket proxy that forbids
+        # sendto, and the zero-copy send path needs the real one.
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        sock.bind((self.registry.host, port))
+        transport, protocol = await loop.create_datagram_endpoint(
+            lambda: _AioProtocol(self), sock=sock)
+        self._transport = transport
+        self._protocol = protocol
+        self._sock = sock
+        self.addr = sock.getsockname()[:2]
+        if self.registry.multicast is not None:
+            self._join_multicast(loop)
+
+    def _join_multicast(self, loop) -> None:
+        """Join the cluster's discovery group (opt-in; see PROTOCOL §12)."""
+        group, port = self.registry.multicast  # type: ignore[misc]
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if hasattr(socket, "SO_REUSEPORT"):  # pragma: no branch
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+        sock.bind(("", port))
+        mreq = struct.pack("4s4s", socket.inet_aton(group),
+                           socket.inet_aton(self.registry.host))
+        sock.setsockopt(socket.IPPROTO_IP, socket.IP_ADD_MEMBERSHIP, mreq)
+        sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_LOOP, 1)
+        sock.setblocking(False)
+        self._mcast_sock = sock
+
+        def _readable() -> None:
+            try:
+                data, addr = sock.recvfrom(65536)
+            except (BlockingIOError, OSError):
+                return
+            self._on_datagram(data, addr)
+
+        loop.add_reader(sock.fileno(), _readable)
+
+    def _close_transports(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        if self._mcast_sock is not None:
+            try:
+                self.registry.loop.remove_reader(self._mcast_sock.fileno())
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+            self._mcast_sock.close()
+            self._mcast_sock = None
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.cancel()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Send plane: per-peer queues, same-tick coalescing, pooled buffers
+    # ------------------------------------------------------------------
+    def _queue_frame(self, addr: Addr, frame: dict) -> None:
+        queue = self._send_queues.setdefault(addr, [])
+        queue.append(frame)
+        if len(queue) >= MAX_BATCH_FRAMES:
+            self._flush_to(addr, self._send_queues.pop(addr))
+            return
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.registry.loop.call_soon(self._flush_all)
+
+    def _flush_all(self) -> None:
+        self._flush_scheduled = False
+        queues, self._send_queues = self._send_queues, {}
+        for addr, frames in queues.items():
+            self._flush_to(addr, frames)
+
+    def _flush_to(self, addr: Addr, frames: List[dict]) -> None:
+        if self.registry.lose_frame():
+            self.registry.frames_dropped += 1
+            return
+        if len(frames) == 1:
+            frame = frames[0]
+        else:
+            frame = {"k": BATCH, "f": frames}
+            self.batches_sent += 1
+        buf = self.pool.acquire()
+        try:
+            self.registry.frames.encode_into(buf, frame)
+            size = len(buf)
+            sent = False
+            if self._sock is not None:
+                try:
+                    self._sock.sendto(memoryview(buf)[:size], addr)
+                    sent = True
+                except (BlockingIOError, InterruptedError):
+                    sent = False
+                except OSError:
+                    self.transport_errors += 1
+                    sent = True  # unroutable: drop, like a lost datagram
+            if not sent and self._transport is not None:
+                # Kernel buffer full: fall back to asyncio's buffered path
+                # (this one send costs a bytes copy; the pool is unharmed).
+                self._transport.sendto(bytes(buf), addr)
+            self.frames_sent += len(frames)
+            self.bytes_sent += size
+        finally:
+            self.pool.release(buf)
+
+    # ------------------------------------------------------------------
+    # Receive plane
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes, addr: Addr) -> None:
+        try:
+            frame = self.registry.frames.decode(data)
+        except Exception:
+            self.transport_errors += 1
+            return
+        self._dispatch(frame, addr)
+
+    def _dispatch(self, frame: dict, addr: Addr) -> None:
+        kind = frame.get("k")
+        if kind == BATCH:
+            for sub in frame.get("f", ()):
+                if isinstance(sub, dict):
+                    self._dispatch(sub, addr)
+            return
+        self.frames_received += 1
+        if kind == QUERY:
+            self._serve_query(frame, addr)
+        elif kind in (RESPONSE, ECHO_REPLY):
+            fut = self._pending.pop(frame.get("id"), None)
+            if fut is not None and not fut.done():
+                fut.set_result(frame)
+        elif kind == ECHO:
+            self._queue_frame(addr, {"k": ECHO_REPLY, "id": frame.get("id"),
+                                     "t": frame.get("t")})
+        elif kind == DISCOVER:
+            host, port = frame.get("h"), frame.get("pt")
+            if isinstance(host, str) and isinstance(port, int):
+                self._queue_frame((host, port),
+                                  {"k": DISCOVER_ACK, "o": self.name,
+                                   "h": self.addr[0], "pt": self.addr[1]})
+        elif kind == DISCOVER_ACK:
+            self._discovered(frame)
+        # unknown kinds are ignored (forward compatibility)
+
+    def _discovered(self, frame: dict) -> None:
+        peers = getattr(self, "_discover_bucket", None)
+        if peers is not None and isinstance(frame.get("o"), str):
+            peers[frame["o"]] = (frame.get("h"), frame.get("pt"))
+
+    # ------------------------------------------------------------------
+    # Serving plane: how peers enter this node (admission + idempotency)
+    # ------------------------------------------------------------------
+    def _admit_serve(self) -> bool:
+        if self.force_shed:
+            return False
+        if (self.max_concurrent_serves is not None
+                and self._active_serves >= self.max_concurrent_serves):
+            return False
+        self._active_serves += 1
+        return True
+
+    def _serve_query(self, frame: dict, addr: Addr) -> None:
+        origin = frame.get("o", "?")
+        req_id = frame.get("id")
+        key = (origin, req_id)
+        cached = self._served_cache.get(key)
+        if cached is not None:
+            # Retransmitted destructive query whose hit we already
+            # committed: replay the recorded answer so the take is
+            # consumed exactly once even if every earlier copy of the
+            # response was lost.
+            self.dedup_served += 1
+            self._queue_frame(addr, cached)
+            return
+        pattern = frame.get("p")
+        if not self._admit_serve():
+            self.sheds += 1
+            self._serve_metric.labels(node=self.name, outcome="shed").inc()
+            # Shed verdicts are *not* cached: the origin should retry
+            # after backoff and find an admitted slot.
+            self._queue_frame(addr, {"k": RESPONSE, "id": req_id,
+                                     "st": "shed"})
+            return
+        try:
+            if not isinstance(pattern, Pattern):
+                response: dict = {"k": RESPONSE, "id": req_id, "st": "miss"}
+            else:
+                remove = frame.get("op") == "inp"
+                found = (self.space.inp(pattern) if remove
+                         else self.space.rdp(pattern))
+                if found is None:
+                    response = {"k": RESPONSE, "id": req_id, "st": "miss"}
+                else:
+                    response = {"k": RESPONSE, "id": req_id, "st": "hit",
+                                "t": found}
+        finally:
+            self._active_serves -= 1
+        self._serve_metric.labels(node=self.name, outcome="served").inc()
+        # Only destructive hits are cached: they are the one irreversible
+        # verdict.  Misses and reads are recomputed on retransmit, so a
+        # blocking origin that reuses its request id across poll rounds
+        # still sees tuples that arrive *after* an early miss.
+        if response.get("st") == "hit" and frame.get("op") == "inp":
+            self._remember_served(key, response)
+        self._queue_frame(addr, response)
+
+    def _remember_served(self, key: PyTuple[str, int], response: dict) -> None:
+        if key[1] is None:
+            return
+        self._served_cache[key] = response
+        self._served_order.append(key)
+        if len(self._served_order) > self.SERVED_CACHE:
+            evict = self._served_order.pop(0)
+            self._served_cache.pop(evict, None)
+
+    # ------------------------------------------------------------------
+    # Request plane: retransmit until answered or out of budget
+    # ------------------------------------------------------------------
+    async def _request(self, addr: Addr, frame: dict,
+                       budget: float) -> Optional[dict]:
+        """Send ``frame`` and await its answer, retransmitting on a capped
+        exponential schedule.  Returns the answer frame or ``None`` if the
+        peer never answered within ``budget`` seconds."""
+        loop = asyncio.get_running_loop()
+        config = self.registry.config
+        req_id = frame["id"]
+        deadline = loop.time() + budget
+        interval = config.retry_initial
+        first = True
+        while True:
+            fut: asyncio.Future = loop.create_future()
+            self._pending[req_id] = fut
+            if not first:
+                self.retransmits += 1
+            first = False
+            self._queue_frame(addr, frame)
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                self._pending.pop(req_id, None)
+                return None
+            try:
+                return await asyncio.wait_for(
+                    fut, timeout=min(interval, remaining))
+            except asyncio.TimeoutError:
+                self._pending.pop(req_id, None)
+                if loop.time() >= deadline:
+                    return None
+                interval = min(interval * config.retry_backoff,
+                               config.retry_max_interval)
+
+    async def _probe(self, peer: str, addr: Addr, pattern: Pattern,
+                     remove: bool,
+                     req_id: Optional[int] = None,
+                     ) -> Union[Optional[Tuple], _ShedType]:
+        """Probe one peer through its serving gate, honouring backoff.
+
+        ``req_id`` lets a blocking operation reuse one id across its poll
+        rounds: combined with the server's destructive-hit cache, a take
+        whose answer was lost in flight is recovered on the next round
+        instead of silently consuming the tuple into the void.
+        """
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        streak, until = self._peer_backoff.get(peer, (0, 0.0))
+        if now < until:
+            return None
+        frame = {"k": QUERY,
+                 "id": next(self._req_ids) if req_id is None else req_id,
+                 "op": "inp" if remove else "rdp",
+                 "p": pattern, "o": self.name}
+        answer = await self._request(addr, frame, budget=self.PROBE_TIMEOUT)
+        if answer is None:
+            return None
+        if answer.get("st") == "shed":
+            streak += 1
+            delay = min(self.POLL_INTERVAL * (2.0 ** streak),
+                        self.SHED_BACKOFF_MAX)
+            self._peer_backoff[peer] = (streak, loop.time() + delay)
+            return SHED
+        if streak:
+            self._peer_backoff.pop(peer, None)
+        if answer.get("st") == "hit":
+            result = answer.get("t")
+            return result if isinstance(result, Tuple) else None
+        return None
+
+    # ------------------------------------------------------------------
+    # The six operations: async core
+    # ------------------------------------------------------------------
+    def _count(self, op: str, outcome: str) -> None:
+        self._ops_metric.labels(node=self.name, op=op, outcome=outcome).inc()
+
+    def _notify_local(self) -> None:
+        event = self._local_event
+        if event is not None:
+            event.set()
+
+    async def a_out(self, tup: Tuple,
+                    lease_duration: Optional[float] = None) -> None:
+        """Deposit into the local space (default scope, section 2.2)."""
+        self.ops_started += 1
+        self.space.out(tup, lease_duration)
+        self._count("out", "ok")
+        self._notify_local()
+
+    async def _a_poll(self, op: str, pattern: Pattern,
+                      remove: bool) -> Optional[Tuple]:
+        self.ops_started += 1
+        local = self.space.inp(pattern) if remove else self.space.rdp(pattern)
+        if local is not None:
+            self._count(op, "hit")
+            return local
+        for peer, addr in self.registry.visible_peers(self.name):
+            found = await self._probe(peer, addr, pattern, remove)
+            if found is not None and found is not SHED:
+                self._count(op, "hit")
+                return found
+        self._count(op, "miss")
+        self.ops_unsatisfied += 1
+        return None
+
+    async def a_rdp(self, pattern: Pattern) -> Optional[Tuple]:
+        """Non-blocking read over the current logical space."""
+        return await self._a_poll("rdp", pattern, remove=False)
+
+    async def a_inp(self, pattern: Pattern) -> Optional[Tuple]:
+        """Non-blocking take over the current logical space."""
+        return await self._a_poll("inp", pattern, remove=True)
+
+    async def _a_blocking(self, op: str, pattern: Pattern, remove: bool,
+                          timeout: float) -> Optional[Tuple]:
+        self.ops_started += 1
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        event = self._local_event
+        req_ids: Dict[str, int] = {}
+        while True:
+            local = (self.space.inp(pattern) if remove
+                     else self.space.rdp(pattern))
+            if local is not None:
+                self._count(op, "hit")
+                return local
+            for peer, addr in self.registry.visible_peers(self.name):
+                if peer not in req_ids:
+                    req_ids[peer] = next(self._req_ids)
+                found = await self._probe(peer, addr, pattern, remove,
+                                          req_id=req_ids[peer])
+                if found is not None and found is not SHED:
+                    self._count(op, "hit")
+                    return found
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                self._count(op, "miss")
+                self.ops_unsatisfied += 1
+                return None
+            if event is not None:
+                event.clear()
+                try:
+                    await asyncio.wait_for(
+                        event.wait(),
+                        timeout=min(self.POLL_INTERVAL, remaining))
+                except asyncio.TimeoutError:
+                    pass
+
+    async def a_rd(self, pattern: Pattern,
+                   timeout: float = 5.0) -> Optional[Tuple]:
+        """Blocking read: polls the logical space until match or timeout."""
+        return await self._a_blocking("rd", pattern, remove=False,
+                                      timeout=timeout)
+
+    async def a_in(self, pattern: Pattern,
+                   timeout: float = 5.0) -> Optional[Tuple]:
+        """Blocking take: polls the logical space until match or timeout."""
+        return await self._a_blocking("in", pattern, remove=True,
+                                      timeout=timeout)
+
+    async def a_eval(self, fn, *args,
+                     lease_duration: Optional[float] = None) -> Tuple:
+        """Active tuple: run ``fn(*args)`` on a worker, deposit the result."""
+        self.ops_started += 1
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(None, lambda: fn(*args))
+        if not isinstance(result, Tuple):
+            raise TypeError(f"eval returned {result!r}, not a Tuple")
+        self.space.out(result, lease_duration)
+        self._count("eval", "ok")
+        self._notify_local()
+        return result
+
+    async def a_echo(self, addr: Addr, tup: Tuple,
+                     budget: float = 1.0) -> Optional[Tuple]:
+        """Round-trip ``tup`` off a peer; the CLI smoke and bench core."""
+        frame = {"k": ECHO, "id": next(self._req_ids), "t": tup}
+        answer = await self._request(addr, frame, budget=budget)
+        if answer is None:
+            return None
+        result = answer.get("t")
+        return result if isinstance(result, Tuple) else None
+
+    async def a_discover(self, window: float = 0.1) -> Dict[str, Addr]:
+        """Multicast DISCOVER and collect unicast answers for ``window``."""
+        if self.registry.multicast is None:
+            raise RuntimeError("registry was built without multicast=...")
+        bucket: Dict[str, Addr] = {}
+        self._discover_bucket = bucket
+        try:
+            self._queue_frame(self.registry.multicast,
+                              {"k": DISCOVER, "o": self.name,
+                               "h": self.addr[0], "pt": self.addr[1]})
+            await asyncio.sleep(window)
+        finally:
+            del self._discover_bucket
+        return {name: (host, port) for name, (host, port) in bucket.items()
+                if isinstance(host, str) and isinstance(port, int)}
+
+    # ------------------------------------------------------------------
+    # Synchronous facade (mirrors ThreadedTiamatNode)
+    # ------------------------------------------------------------------
+    def out(self, tup: Tuple, lease_duration: Optional[float] = None) -> None:
+        """Deposit into the local space (thread-safe; wakes loop waiters)."""
+        self.ops_started += 1
+        self.space.out(tup, lease_duration)
+        self._count("out", "ok")
+        try:
+            self.registry.loop.call_soon_threadsafe(self._notify_local)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    def rdp(self, pattern: Pattern) -> Optional[Tuple]:
+        """Non-blocking read over the current logical space."""
+        return self.registry.submit(self.a_rdp(pattern)).result()
+
+    def inp(self, pattern: Pattern) -> Optional[Tuple]:
+        """Non-blocking take over the current logical space."""
+        return self.registry.submit(self.a_inp(pattern)).result()
+
+    def rd(self, pattern: Pattern, timeout: float = 5.0) -> Optional[Tuple]:
+        """Blocking read: polls the logical space until match or timeout."""
+        return self.registry.submit(
+            self.a_rd(pattern, timeout=timeout)).result()
+
+    def in_(self, pattern: Pattern, timeout: float = 5.0) -> Optional[Tuple]:
+        """Blocking take: polls the logical space until match or timeout."""
+        return self.registry.submit(
+            self.a_in(pattern, timeout=timeout)).result()
+
+    def eval(self, fn, *args, lease_duration: Optional[float] = None):
+        """Run ``fn(*args)`` as an active tuple; returns a waitable future."""
+        return self.registry.submit(
+            self.a_eval(fn, *args, lease_duration=lease_duration))
+
+    def echo(self, addr: Addr, tup: Tuple,
+             budget: float = 1.0) -> Optional[Tuple]:
+        """Synchronous :meth:`a_echo`."""
+        return self.registry.submit(self.a_echo(addr, tup,
+                                                budget=budget)).result()
+
+    def discover(self, window: float = 0.1) -> Dict[str, Addr]:
+        """Synchronous :meth:`a_discover`."""
+        return self.registry.submit(self.a_discover(window)).result()
+
+    @property
+    def active_serves(self) -> int:
+        """Remote probes currently being served by this node."""
+        return self._active_serves
+
+    def stats(self) -> Dict[str, int]:
+        """Wire and op counters for this node."""
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "batches_sent": self.batches_sent,
+            "bytes_sent": self.bytes_sent,
+            "retransmits": self.retransmits,
+            "dedup_served": self.dedup_served,
+            "sheds": self.sheds,
+            "transport_errors": self.transport_errors,
+            "ops_started": self.ops_started,
+            "ops_unsatisfied": self.ops_unsatisfied,
+            "pool": self.pool.stats(),  # type: ignore[dict-item]
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AioTiamatNode {self.name} @{self.addr[0]}:{self.addr[1]}>"

@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Dict, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
 
 from repro.obs import Observability
 from repro.obs.telemetry import (
@@ -39,6 +39,10 @@ from repro.obs.telemetry import (
 )
 from repro.runtime.space import ThreadSafeTupleSpace
 from repro.tuples.model import Pattern, Tuple
+from repro.tuples.serialization import WireCodec, ensure_codec_match
+
+if TYPE_CHECKING:  # pragma: no cover - type hint only, no runtime import
+    from repro.core.config import TiamatConfig
 
 
 class _ShedType:
@@ -67,9 +71,21 @@ class ThreadedNodeRegistry:
     hub (``registry.obs``): a **thread-safe** metrics registry clocked by
     wall time (``time.monotonic``), which every member node feeds its
     operation counters, blocking-wait histogram, and space residency into.
+
+    ``config.wire_codec`` flows into the registry exactly as it does into
+    the sim network and the aio cluster: the resolved codec is exposed as
+    ``registry.codec`` (the in-process transport never serialises, but
+    byte *accounting* and conformance harnesses read it), and an explicit
+    ``codec`` argument that disagrees with the config raises the shared
+    :class:`~repro.errors.CodecMismatchError` at construction.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, config: Optional["TiamatConfig"] = None,
+                 codec: Union[str, "WireCodec", None] = None) -> None:
+        from repro.core.config import TiamatConfig
+        self.config = config if config is not None else TiamatConfig()
+        self.codec = ensure_codec_match(self.config.wire_codec, codec,
+                                        transport="registry")
         self._lock = threading.Lock()
         self._nodes: dict[str, "ThreadedTiamatNode"] = {}
         self._edges: set[frozenset] = set()

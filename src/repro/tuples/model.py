@@ -46,13 +46,17 @@ class Tuple:
     used as dict keys, and asserted on in tests.
     """
 
-    __slots__ = ("_fields", "_hash")
+    #: ``_wire`` caches the tuple's binary wire form (tuples are immutable,
+    #: so the encoding can never go stale); re-sending a tuple — relays,
+    #: retransmits, fan-out to several peers — degenerates to one memcpy.
+    __slots__ = ("_fields", "_hash", "_wire")
 
     def __init__(self, *fields: FieldValue) -> None:
         if not fields:
             raise MalformedTupleError("a tuple must have at least one field")
         self._fields = tuple(_validate_field(f) for f in fields)
         self._hash: Optional[int] = None
+        self._wire: Optional[bytes] = None
 
     @classmethod
     def of(cls, fields: Iterable[FieldValue]) -> "Tuple":
@@ -72,6 +76,7 @@ class Tuple:
         self = object.__new__(cls)
         self._fields = fields
         self._hash = None
+        self._wire = None
         return self
 
     @property

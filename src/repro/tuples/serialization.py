@@ -40,7 +40,7 @@ import json
 import struct
 from typing import Any, Union
 
-from repro.errors import SerializationError
+from repro.errors import CodecMismatchError, SerializationError
 from repro.tuples.model import ANY, Actual, Field, Formal, Pattern, Range, Tuple
 
 _FORMAL_TYPES = {
@@ -241,7 +241,13 @@ def _append_value(buf: bytearray, value: Any) -> None:
     elif value is False:
         buf.append(_B_FALSE)
     elif isinstance(value, Tuple):
-        _append_tuple(buf, value)
+        wire = value._wire
+        if wire is not None:
+            buf += wire
+        else:
+            mark = len(buf)
+            _append_tuple(buf, value)
+            value._wire = bytes(memoryview(buf)[mark:])
     elif isinstance(value, int):
         buf.append(_B_INT)
         # zigzag-map so small negatives stay small on the wire
@@ -371,7 +377,10 @@ def _read_value(data: bytes, pos: int) -> "tuple[Any, int]":
         n, pos = _read_varint(data, pos)
         if pos + n > length:
             raise SerializationError("truncated string")
-        return data[pos:pos + n].decode("utf-8"), pos + n
+        # str(x, "utf-8") decodes bytes, bytearray *and* memoryview
+        # slices, so readers stay buffer-agnostic (.decode does not
+        # exist on memoryview).
+        return str(data[pos:pos + n], "utf-8"), pos + n
     if tag == _B_BYTES:
         n, pos = _read_varint(data, pos)
         if pos + n > length:
@@ -385,18 +394,23 @@ def _read_value(data: bytes, pos: int) -> "tuple[Any, int]":
             items.append(item)
         return items, pos
     if tag == _B_DICT:
-        n, pos = _read_varint(data, pos)
-        out: dict = {}
-        for _ in range(n):
-            klen, pos = _read_varint(data, pos)
-            if pos + klen > length:
-                raise SerializationError("truncated dict key")
-            key = data[pos:pos + klen].decode("utf-8")
-            pos += klen
-            out[key], pos = _read_value(data, pos)
-        return out, pos
+        return _read_dict_fast(data, pos, length)
     if tag == _B_TUPLE:
-        return _read_tuple(data, pos)
+        start = pos
+        end = _skip_tuple(data, pos)
+        if end > length:
+            raise SerializationError("truncated nested tuple")
+        if end - start < _NESTED_INTERN_KEY_MAX:
+            key = bytes(data[start - 1:end])
+            value = _nested_intern.get(key)
+            if value is None:
+                value, _ = _read_tuple_fast(data, start, end)
+                value._wire = key
+                if len(_nested_intern) >= _NESTED_INTERN_MAX:
+                    _nested_intern.clear()
+                _nested_intern[key] = value
+            return value, end
+        return _read_tuple_fast(data, start, end)
     if tag == _B_PATTERN:
         n, pos = _read_varint(data, pos)
         specs = []
@@ -409,44 +423,106 @@ def _read_value(data: bytes, pos: int) -> "tuple[Any, int]":
     raise SerializationError(f"unknown binary tag 0x{tag:02x}")
 
 
-def _read_tuple(data: bytes, pos: int) -> "tuple[Tuple, int]":
+#: Bounded intern table for decoded tuples keyed by their exact tagged
+#: wire bytes.  Tuples on a real wire repeat heavily — nested sub-records
+#: (space handles, reply-to addresses), and whole tuples on retransmit,
+#: dedup-replay, and fan-out paths — so a decode that has seen the bytes
+#: before returns the shared immutable Tuple instead of re-parsing it.
+#: The key is the full tagged form, so it doubles as the tuple's memoized
+#: ``_wire`` encoding.  Wiped wholesale when full: cheap, and a full wipe
+#: keeps the steady state hot without LRU bookkeeping on the fast path.
+_nested_intern: "dict[bytes, Tuple]" = {}
+_NESTED_INTERN_MAX = 1024
+#: Nested tuples longer than this on the wire are not interned (the key
+#: copy would cost more than it saves on plausible hit rates).
+_NESTED_INTERN_KEY_MAX = 256
+
+
+def _skip_tuple(data, pos: int) -> int:
+    """Advance past a tuple body (after its ``_B_TUPLE`` tag byte).
+
+    A structure-only scan — no object construction, no UTF-8 decode —
+    used to find a nested tuple's wire extent so the intern table can be
+    consulted *before* paying for a full parse.  Trusts nothing it does
+    not need to: a malformed body raises here or in the full decode that
+    follows a cache miss.
+    """
+    nf = data[pos]
+    pos += 1
+    if nf > 0x7F:
+        nf, pos = _read_varint(data, pos - 1)
+    while nf:
+        nf -= 1
+        tag = data[pos]
+        pos += 1
+        if tag == _B_INT:
+            while data[pos] & 0x80:
+                pos += 1
+            pos += 1
+        elif tag == _B_STR or tag == _B_BYTES:
+            n = data[pos]
+            pos += 1
+            if n > 0x7F:
+                n, pos = _read_varint(data, pos - 1)
+            pos += n
+        elif tag == _B_FLOAT:
+            pos += 8
+        elif tag == _B_TUPLE:
+            pos = _skip_tuple(data, pos)
+        elif tag != _B_TRUE and tag != _B_FALSE:
+            raise SerializationError(
+                f"tag 0x{tag:02x} is not a tuple field value")
+    return pos
+
+
+def _read_tuple_fast(data, pos: int, length: int) -> "tuple[Tuple, int]":
     """Decode a tuple body (after its tag byte) via the trusted fast path.
 
     Only *field-value* tags are admitted inside a tuple, which proves field
     validity by construction and licenses :meth:`Tuple._from_trusted` —
     skipping the per-field re-validation of the public constructor.
+
+    This is the hottest loop on a binary wire, hand-inlined accordingly:
+    ``data`` may be ``bytes``, ``bytearray`` or ``memoryview`` (indexing
+    yields ints and ``str(slice, "utf-8")`` works on all three, so frames
+    decode straight out of a receive buffer with no intermediate copy);
+    varints take the one-byte fast path inline; tuples are built through
+    ``object.__new__`` with direct slot stores.  Truncations surface as
+    ``IndexError``/``struct.error`` and are converted to
+    :class:`SerializationError` by the public entry points — except
+    slices, which truncate silently and therefore keep explicit bounds
+    checks.
     """
-    n, pos = _read_varint(data, pos)
-    if n == 0:
+    nf = data[pos]
+    pos += 1
+    if nf > 0x7F:
+        nf, pos = _read_varint(data, pos - 1)
+    if nf == 0:
         raise SerializationError("a tuple must have at least one field")
-    length = len(data)
     fields = []
     append = fields.append
-    for _ in range(n):
-        if pos >= length:
-            raise SerializationError("truncated tuple field")
+    interned = _nested_intern
+    while nf:
+        nf -= 1
         tag = data[pos]
         pos += 1
-        if tag == _B_INT:
-            if pos < length and data[pos] < 0x80:   # 1-byte varint fast path
-                raw = data[pos]
-                pos += 1
-            else:
-                raw, pos = _read_varint(data, pos)
-            append((raw >> 1) ^ -(raw & 1))
-        elif tag == _B_STR:
-            if pos < length and data[pos] < 0x80:
-                size = data[pos]
-                pos += 1
-            else:
-                size, pos = _read_varint(data, pos)
-            if pos + size > length:
+        if tag == _B_STR:
+            n = data[pos]
+            pos += 1
+            if n > 0x7F:
+                n, pos = _read_varint(data, pos - 1)
+            end = pos + n
+            if end > length:
                 raise SerializationError("truncated string")
-            append(data[pos:pos + size].decode("utf-8"))
-            pos += size
+            append(str(data[pos:end], "utf-8"))
+            pos = end
+        elif tag == _B_INT:
+            raw = data[pos]
+            pos += 1
+            if raw > 0x7F:
+                raw, pos = _read_varint(data, pos - 1)
+            append((raw >> 1) ^ -(raw & 1))
         elif tag == _B_FLOAT:
-            if pos + 8 > length:
-                raise SerializationError("truncated float")
             append(_unpack_double(data, pos)[0])
             pos += 8
         elif tag == _B_TRUE:
@@ -454,18 +530,124 @@ def _read_tuple(data: bytes, pos: int) -> "tuple[Tuple, int]":
         elif tag == _B_FALSE:
             append(False)
         elif tag == _B_BYTES:
-            size, pos = _read_varint(data, pos)
-            if pos + size > length:
+            n = data[pos]
+            pos += 1
+            if n > 0x7F:
+                n, pos = _read_varint(data, pos - 1)
+            end = pos + n
+            if end > length:
                 raise SerializationError("truncated bytes")
-            append(bytes(data[pos:pos + size]))
-            pos += size
+            append(bytes(data[pos:end]))
+            pos = end
         elif tag == _B_TUPLE:
-            nested, pos = _read_tuple(data, pos)
+            start = pos
+            pos = _skip_tuple(data, pos)
+            if pos > length:
+                raise SerializationError("truncated nested tuple")
+            if pos - start < _NESTED_INTERN_KEY_MAX:
+                # Key on the full tagged form so the key doubles as the
+                # nested tuple's memoized wire bytes.
+                key = bytes(data[start - 1:pos])
+                nested = interned.get(key)
+                if nested is None:
+                    nested, _ = _read_tuple_fast(data, start, pos)
+                    nested._wire = key
+                    if len(interned) >= _NESTED_INTERN_MAX:
+                        interned.clear()
+                    interned[key] = nested
+            else:
+                nested, _ = _read_tuple_fast(data, start, pos)
             append(nested)
         else:
             raise SerializationError(
                 f"tag 0x{tag:02x} is not a tuple field value")
-    return Tuple._from_trusted(tuple(fields)), pos
+    if pos > length:
+        raise SerializationError("truncated tuple")
+    tup = _T_new(Tuple)
+    tup._fields = tuple(fields)
+    tup._hash = None
+    tup._wire = None
+    return tup, pos
+
+
+_T_new = object.__new__
+
+
+def _read_tuple(data, pos: int) -> "tuple[Tuple, int]":
+    """Compatibility wrapper: decode a tuple body at ``pos``."""
+    return _read_tuple_fast(data, pos, len(data))
+
+
+def _read_dict_fast(data, pos: int, length: int) -> "tuple[dict, int]":
+    """Decode a dict body (after its ``_B_DICT`` tag byte), hand-inlined.
+
+    Frame payloads are dicts — one per received datagram on a binary
+    wire — so the dict walk gets the same treatment as the tuple walk:
+    inline one-byte varint fast paths, inline decode of the common value
+    shapes (short strings, ints, bools, interned tuples), and a fallback
+    to :func:`_read_value` for everything rarer.
+    """
+    n = data[pos]
+    pos += 1
+    if n > 0x7F:
+        n, pos = _read_varint(data, pos - 1)
+    out: dict = {}
+    interned = _nested_intern
+    while n:
+        n -= 1
+        klen = data[pos]
+        pos += 1
+        if klen > 0x7F:
+            klen, pos = _read_varint(data, pos - 1)
+        kend = pos + klen
+        if kend > length:
+            raise SerializationError("truncated dict key")
+        key = str(data[pos:kend], "utf-8")
+        pos = kend
+        tag = data[pos]
+        pos += 1
+        if tag == _B_STR:
+            m = data[pos]
+            pos += 1
+            if m > 0x7F:
+                m, pos = _read_varint(data, pos - 1)
+            end = pos + m
+            if end > length:
+                raise SerializationError("truncated string")
+            out[key] = str(data[pos:end], "utf-8")
+            pos = end
+        elif tag == _B_INT:
+            raw = data[pos]
+            pos += 1
+            if raw > 0x7F:
+                raw, pos = _read_varint(data, pos - 1)
+            out[key] = (raw >> 1) ^ -(raw & 1)
+        elif tag == _B_TUPLE:
+            start = pos
+            pos = _skip_tuple(data, pos)
+            if pos > length:
+                raise SerializationError("truncated nested tuple")
+            if pos - start < _NESTED_INTERN_KEY_MAX:
+                wire_key = bytes(data[start - 1:pos])
+                nested = interned.get(wire_key)
+                if nested is None:
+                    nested, _ = _read_tuple_fast(data, start, pos)
+                    nested._wire = wire_key
+                    if len(interned) >= _NESTED_INTERN_MAX:
+                        interned.clear()
+                    interned[wire_key] = nested
+                out[key] = nested
+            else:
+                out[key], _ = _read_tuple_fast(data, start, pos)
+        elif tag == _B_TRUE:
+            out[key] = True
+        elif tag == _B_FALSE:
+            out[key] = False
+        elif tag == _B_NONE:
+            out[key] = None
+        else:
+            out[key], pos = _read_value(data, pos - 1)
+    return out, pos
 
 
 def _read_spec(data: bytes, pos: int) -> "tuple[Field, int]":
@@ -493,25 +675,107 @@ def _read_spec(data: bytes, pos: int) -> "tuple[Field, int]":
 
 
 def encode_tuple_binary(tup: Tuple) -> bytes:
-    """Encode a tuple to the compact binary wire form."""
+    """Encode a tuple to the compact binary wire form.
+
+    The result is memoized on the (immutable) tuple, so encoding the same
+    tuple again — the relay, retransmit, and multi-peer fan-out paths —
+    returns the cached bytes without re-walking the fields.
+    """
     if not isinstance(tup, Tuple):
         raise SerializationError(f"not a tuple: {tup!r}")
-    buf = bytearray()
-    _append_value(buf, tup)
-    return bytes(buf)
+    wire = tup._wire
+    if wire is None:
+        buf = bytearray()
+        _append_tuple(buf, tup)
+        tup._wire = wire = bytes(buf)
+    return wire
 
 
-def decode_tuple_binary(data: Union[bytes, bytearray]) -> Tuple:
-    """Decode a tuple from the binary wire form (strict; see module doc)."""
+def encode_tuple_into(buf: bytearray, tup: Tuple) -> None:
+    """Append ``tup``'s binary wire form to a caller-owned buffer.
+
+    The zero-copy encode path: callers that assemble whole frames in a
+    pooled ``bytearray`` (see :mod:`repro.runtime.aio`) skip the
+    intermediate ``bytes`` object entirely; a memoized tuple appends as
+    one memcpy.
+    """
+    wire = tup._wire
+    if wire is not None:
+        buf += wire
+    else:
+        mark = len(buf)
+        _append_tuple(buf, tup)
+        tup._wire = bytes(memoryview(buf)[mark:])
+
+
+def encode_payload_into(buf: bytearray, payload: dict) -> None:
+    """Append a whole frame payload dict to a caller-owned buffer.
+
+    Same contract as :func:`encode_payload_binary` minus the terminal
+    ``bytes()`` copy: the aio runtime encodes frames straight into pooled
+    send buffers and hands the kernel a ``memoryview`` of the result.
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError(f"payload must be a dict, got {payload!r}")
+    _append_value(buf, payload)
+
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def decode_tuple_binary(data: Buffer) -> Tuple:
+    """Decode a tuple from the binary wire form (strict; see module doc).
+
+    Accepts ``bytes``, ``bytearray`` or ``memoryview`` and decodes in
+    place — no intermediate copy of ``data`` is made.  Whole datagrams
+    repeat on retransmit and replay paths, so top-level decodes go
+    through the same bounded intern table as nested tuples: a second
+    decode of identical bytes is one dict lookup.
+    """
+    if type(data) is bytes and data and data[0] == _B_TUPLE \
+            and len(data) < _NESTED_INTERN_KEY_MAX:
+        cached = _nested_intern.get(data)
+        if cached is not None:
+            return cached
     try:
-        value, pos = _read_value(bytes(data), 0)
+        if data[0] == _B_TUPLE:
+            value, pos = _read_tuple_fast(data, 1, len(data))
+        else:
+            value, pos = _read_value(data, 0)
     except SerializationError:
         raise
     except Exception as exc:
         raise SerializationError(f"malformed binary tuple: {exc}") from exc
     if not isinstance(value, Tuple) or pos != len(data):
         raise SerializationError("encoded value is not exactly one tuple")
+    if type(data) is bytes:
+        if value._wire is None:
+            value._wire = data
+        if data[0] == _B_TUPLE and len(data) < _NESTED_INTERN_KEY_MAX:
+            if len(_nested_intern) >= _NESTED_INTERN_MAX:
+                _nested_intern.clear()
+            _nested_intern[data] = value
     return value
+
+
+def decode_tuple_buffer(data: Buffer, pos: int = 0) -> "tuple[Tuple, int]":
+    """Decode one tuple at ``pos`` inside a larger buffer.
+
+    Returns ``(tuple, end)`` where ``end`` is the offset one past the
+    tuple's wire form, so frame parsers can walk a receive buffer without
+    slicing it per value.  Strict: malformation raises
+    :class:`SerializationError`.
+    """
+    try:
+        if data[pos] != _B_TUPLE:
+            raise SerializationError(
+                f"expected a tuple at offset {pos} "
+                f"(tag 0x{data[pos]:02x})")
+        return _read_tuple_fast(data, pos + 1, len(data))
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise SerializationError(f"malformed binary tuple: {exc}") from exc
 
 
 def encode_pattern_binary(pattern: Pattern) -> bytes:
@@ -523,10 +787,10 @@ def encode_pattern_binary(pattern: Pattern) -> bytes:
     return bytes(buf)
 
 
-def decode_pattern_binary(data: Union[bytes, bytearray]) -> Pattern:
+def decode_pattern_binary(data: Buffer) -> Pattern:
     """Decode a pattern from the binary wire form (strict)."""
     try:
-        value, pos = _read_value(bytes(data), 0)
+        value, pos = _read_value(data, 0)
     except SerializationError:
         raise
     except Exception as exc:
@@ -545,10 +809,16 @@ def encode_payload_binary(payload: dict) -> bytes:
     return bytes(buf)
 
 
-def decode_payload_binary(data: Union[bytes, bytearray]) -> dict:
-    """Decode a frame payload dict from the binary wire form (strict)."""
+def decode_payload_binary(data: Buffer) -> dict:
+    """Decode a frame payload dict from the binary wire form (strict).
+
+    Buffer-aware: a ``memoryview`` over a pooled receive buffer decodes
+    with no intermediate ``bytes`` copy of the frame."""
     try:
-        value, pos = _read_value(bytes(data), 0)
+        if data[0] == _B_DICT:
+            value, pos = _read_dict_fast(data, 1, len(data))
+        else:
+            value, pos = _read_value(data, 0)
     except SerializationError:
         raise
     except Exception as exc:
@@ -629,4 +899,30 @@ def get_codec(name: Union[str, WireCodec, None]) -> WireCodec:
     if codec is None:
         raise SerializationError(
             f"unknown wire codec {name!r}; available: {sorted(_CODECS)}")
+    return codec
+
+
+def ensure_codec_match(wire_codec: str,
+                       transport_codec: Union[str, WireCodec, None],
+                       *, transport: str = "network") -> WireCodec:
+    """Resolve and validate the codec a runtime transport will speak.
+
+    The one shared construction-time check for ``TiamatConfig.wire_codec``
+    across all three runtimes (sim network, threaded registry, aio
+    cluster).  ``transport_codec`` is what the transport was explicitly
+    built with (``None`` means "inherit from the config"); a disagreement
+    between an explicit transport codec and the config is a deployment
+    error and raises :class:`~repro.errors.CodecMismatchError` — the same
+    error, with the same shape, from every runtime.  Returns the resolved
+    :class:`WireCodec` the transport must use.
+    """
+    if transport_codec is None:
+        return get_codec(wire_codec)
+    codec = get_codec(transport_codec)
+    if codec.name != wire_codec:
+        raise CodecMismatchError(
+            f"config.wire_codec={wire_codec!r} but the {transport} encodes "
+            f"with {codec.name!r}; construct the {transport} with "
+            f"codec={wire_codec!r} (or drop its codec argument to inherit "
+            f"the config's)")
     return codec

@@ -438,7 +438,8 @@ def test_lease_policy_sees_queue_pressure(sim):
 # Threaded runtime: bounded serve concurrency + SHED + origin backoff
 # ---------------------------------------------------------------------------
 def test_threaded_serve_gate_sheds_and_backs_off():
-    from repro.runtime import SHED, ThreadedNodeRegistry, ThreadedTiamatNode
+    from repro.runtime import SHED
+    from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
 
     registry = ThreadedNodeRegistry()
     a = ThreadedTiamatNode(registry, "a", max_concurrent_serves=1)
@@ -470,7 +471,7 @@ def test_threaded_serve_gate_sheds_and_backs_off():
 
 
 def test_threaded_serve_gate_validates_bound():
-    from repro.runtime import ThreadedNodeRegistry, ThreadedTiamatNode
+    from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
 
     registry = ThreadedNodeRegistry()
     with pytest.raises(ValueError):

@@ -1,0 +1,341 @@
+"""The asyncio UDP runtime: real datagrams on loopback, ephemeral ports.
+
+Everything here binds ``port=0`` sockets on 127.0.0.1, so the suite is
+CI-safe: no fixed ports, no external network.  The multicast discovery
+test is the one exception — it skips when the kernel refuses group
+membership (common in minimal containers).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import TiamatConfig
+from repro.runtime.aio import (
+    AioNodeRegistry,
+    AioTiamatNode,
+    BufferPool,
+    MAX_BATCH_FRAMES,
+    multicast_group_for,
+)
+from repro.tuples.model import Pattern, Tuple
+from repro.tuples.serialization import CodecMismatchError
+
+pytestmark = pytest.mark.timeout(60)
+
+
+@pytest.fixture()
+def cluster():
+    with AioNodeRegistry() as registry:
+        a = AioTiamatNode(registry, "a")
+        b = AioTiamatNode(registry, "b")
+        registry.set_visible("a", "b")
+        yield registry, a, b
+
+
+# ----------------------------------------------------------------------
+# The six operations over real sockets
+# ----------------------------------------------------------------------
+def test_local_out_rdp_inp(cluster):
+    _, a, _ = cluster
+    a.out(Tuple("job", 1))
+    assert a.rdp(Pattern("job", int)) == Tuple("job", 1)
+    assert a.inp(Pattern("job", int)) == Tuple("job", 1)
+    assert a.inp(Pattern("job", int)) is None
+
+
+def test_remote_read_and_take(cluster):
+    _, a, b = cluster
+    b.out(Tuple("task", "parse", 7))
+    # rd leaves the tuple with the owner; in removes it over the wire
+    assert a.rdp(Pattern("task", str, int)) == Tuple("task", "parse", 7)
+    assert b.space.count() == 1
+    assert a.inp(Pattern("task", str, int)) == Tuple("task", "parse", 7)
+    assert b.space.count() == 0
+    assert a.inp(Pattern("task", str, int)) is None
+
+
+def test_visibility_is_enforced():
+    with AioNodeRegistry() as registry:
+        a = AioTiamatNode(registry, "a")
+        b = AioTiamatNode(registry, "b")
+        # no set_visible: the spaces are disjoint even on one host
+        b.out(Tuple("hidden", 1))
+        assert a.rdp(Pattern("hidden", int)) is None
+        registry.set_visible("a", "b")
+        assert a.rdp(Pattern("hidden", int)) == Tuple("hidden", 1)
+
+
+def test_blocking_take_wakes_on_late_remote_deposit(cluster):
+    _, a, b = cluster
+
+    def deposit():
+        time.sleep(0.15)
+        b.out(Tuple("late", 99))
+
+    t = threading.Thread(target=deposit)
+    t.start()
+    try:
+        got = a.in_(Pattern("late", int), timeout=10.0)
+    finally:
+        t.join()
+    assert got == Tuple("late", 99)
+    assert b.space.count() == 0
+
+
+def test_blocking_read_times_out_cleanly(cluster):
+    _, a, _ = cluster
+    start = time.monotonic()
+    assert a.rd(Pattern("never", int), timeout=0.3) is None
+    assert time.monotonic() - start < 5.0
+    assert a.ops_unsatisfied >= 1
+
+
+def test_eval_runs_worker_and_deposits(cluster):
+    _, a, b = cluster
+    fut = a.eval(lambda x: Tuple("square", x, x * x), 6)
+    assert fut.result(timeout=10.0) == Tuple("square", 6, 36)
+    # the active tuple's result landed in a's space, visible to b
+    assert b.inp(Pattern("square", int, int)) == Tuple("square", 6, 36)
+
+
+def test_eval_rejects_non_tuple_results(cluster):
+    _, a, _ = cluster
+    with pytest.raises(TypeError, match="not a Tuple"):
+        a.eval(lambda: 42).result(timeout=10.0)
+
+
+def test_echo_roundtrip_and_wire_counters(cluster):
+    _, a, b = cluster
+    payload = Tuple("ping", "x" * 64)
+    assert a.echo(b.addr, payload) == payload
+    stats = a.stats()
+    assert stats["frames_sent"] >= 1
+    assert stats["bytes_sent"] > 0
+    assert b.frames_received >= 1
+
+
+# ----------------------------------------------------------------------
+# Reliability plane: dedup cache, shedding/backoff, loss counters
+# ----------------------------------------------------------------------
+def test_destructive_hit_is_replayed_not_recomputed(cluster):
+    """A retransmitted take whose hit was already committed must replay
+    the cached answer — consuming the tuple exactly once."""
+    registry, a, b = cluster
+    b.out(Tuple("once", 5))
+    frame = {"k": "q", "id": 424242, "op": "inp",
+             "p": Pattern("once", int), "o": "a"}
+
+    async def serve_twice():
+        b._serve_query(dict(frame), a.addr)
+        b._serve_query(dict(frame), a.addr)  # the retransmitted copy
+
+    registry.submit(serve_twice()).result(timeout=10.0)
+    assert b.space.count() == 0
+    assert b.dedup_served == 1
+
+
+def test_miss_is_recomputed_on_retransmit(cluster):
+    """Misses are *not* cached: the same request id probed again after a
+    deposit must see the new tuple (blocking ops reuse ids per round)."""
+    registry, a, b = cluster
+    frame = {"k": "q", "id": 434343, "op": "inp",
+             "p": Pattern("later", int), "o": "a"}
+
+    async def probe():
+        b._serve_query(dict(frame), a.addr)
+
+    registry.submit(probe()).result(timeout=10.0)
+    b.out(Tuple("later", 1))
+    registry.submit(probe()).result(timeout=10.0)
+    assert b.dedup_served == 0
+    assert b.space.count() == 0  # the second serve consumed it
+
+
+def test_force_shed_and_backoff_recovery(cluster):
+    _, a, b = cluster
+    b.out(Tuple("gated", 3))
+    b.force_shed = True
+    assert a.rdp(Pattern("gated", int)) is None
+    assert b.sheds >= 1
+    assert a._peer_backoff.get("b", (0, 0))[0] >= 1  # backoff recorded
+    b.force_shed = False
+    # blocking take outlasts the (capped) backoff and succeeds
+    assert a.in_(Pattern("gated", int), timeout=10.0) == Tuple("gated", 3)
+    assert "b" not in a._peer_backoff  # streak cleared on admission
+
+
+def test_seeded_loss_drives_retransmits():
+    with AioNodeRegistry(loss_rate=0.3, loss_seed=7) as registry:
+        a = AioTiamatNode(registry, "a")
+        b = AioTiamatNode(registry, "b")
+        registry.set_visible("a", "b")
+        payload = Tuple("lossy", 1)
+        replies = [a.echo(b.addr, payload, budget=5.0) for _ in range(10)]
+        assert any(r == payload for r in replies)
+        assert registry.frames_dropped > 0
+        assert a.retransmits > 0
+
+
+def test_loss_rate_validation():
+    with pytest.raises(ValueError, match="loss_rate"):
+        AioNodeRegistry(loss_rate=1.0)
+
+
+# ----------------------------------------------------------------------
+# Send plane: batching + buffer pool
+# ----------------------------------------------------------------------
+def test_same_tick_frames_coalesce_into_batches(cluster):
+    registry, a, b = cluster
+    before = b.frames_received
+
+    async def burst():
+        for i in range(5):
+            a._queue_frame(b.addr, {"k": "e", "id": 10_000 + i,
+                                    "t": Tuple("burst", i)})
+        # frames queued in one tick flush together on the next
+
+    registry.submit(burst()).result(timeout=10.0)
+    deadline = time.monotonic() + 5.0
+    while b.frames_received < before + 5 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert b.frames_received >= before + 5
+    assert a.batches_sent >= 1
+
+
+def test_oversize_queue_flushes_eagerly(cluster):
+    registry, a, b = cluster
+
+    async def flood():
+        for i in range(MAX_BATCH_FRAMES + 1):
+            a._queue_frame(b.addr, {"k": "e", "id": 20_000 + i,
+                                    "t": Tuple("flood", i)})
+
+    registry.submit(flood()).result(timeout=10.0)
+    deadline = time.monotonic() + 5.0
+    want = MAX_BATCH_FRAMES + 1
+    while b.frames_received < want and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert a.frames_sent >= want
+
+
+def test_buffer_pool_recycles():
+    pool = BufferPool(capacity=2)
+    first = pool.acquire()
+    first.extend(b"x" * 100)
+    pool.release(first)
+    second = pool.acquire()
+    assert second is first          # recycled, not reallocated
+    assert len(second) == 0         # and handed back empty
+    stats = pool.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_buffer_pool_caps_free_list():
+    pool = BufferPool(capacity=1)
+    a, b = pool.acquire(), pool.acquire()
+    pool.release(a)
+    pool.release(b)                 # beyond capacity: dropped, not kept
+    assert pool.stats()["free"] == 1
+
+
+def test_pool_is_exercised_by_traffic(cluster):
+    _, a, b = cluster
+    for i in range(20):
+        a.echo(b.addr, Tuple("pooled", i))
+    stats = a.stats()["pool"]
+    assert stats["hits"] > 0
+    assert stats["misses"] <= 2     # steady state reuses one buffer
+
+
+# ----------------------------------------------------------------------
+# Codec symmetry
+# ----------------------------------------------------------------------
+def test_codec_mismatch_is_rejected():
+    config = TiamatConfig(wire_codec="json")
+    with pytest.raises(CodecMismatchError):
+        AioNodeRegistry(config=config, codec="binary")
+
+
+def test_json_codec_cluster_interoperates():
+    config = TiamatConfig(wire_codec="json")
+    with AioNodeRegistry(config=config) as registry:
+        assert registry.codec.name == "json"
+        a = AioTiamatNode(registry, "a")
+        b = AioTiamatNode(registry, "b")
+        registry.set_visible("a", "b")
+        b.out(Tuple("json", 1, 2.5, True))
+        assert a.inp(Pattern("json", int, float, bool)) == \
+            Tuple("json", 1, 2.5, True)
+
+
+# ----------------------------------------------------------------------
+# Registry lifecycle + thread discipline
+# ----------------------------------------------------------------------
+def test_sync_facade_refuses_loop_thread(cluster):
+    """Calling the blocking facade from loop code would deadlock the
+    event loop waiting on itself; the registry refuses instead."""
+    registry, a, _ = cluster
+
+    async def misuse():
+        return a.rdp(Pattern("x", int))
+
+    with pytest.raises(RuntimeError, match="loop thread"):
+        registry.submit(misuse()).result(timeout=10.0)
+
+
+def test_submit_after_close_is_rejected():
+    registry = AioNodeRegistry()
+    AioTiamatNode(registry, "solo")
+    registry.close()
+    registry.close()                # idempotent
+
+    async def nop():
+        return 1
+
+    with pytest.raises(RuntimeError, match="closed"):
+        registry.submit(nop())
+
+
+def test_registry_stats_roll_up_nodes(cluster):
+    _, a, b = cluster
+    a.echo(b.addr, Tuple("s", 1))
+    stats = cluster[0].stats()
+    assert set(stats["nodes"]) == {"a", "b"}
+    assert stats["frames_dropped"] == 0
+    assert stats["nodes"]["a"]["frames_sent"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Multicast discovery
+# ----------------------------------------------------------------------
+def test_multicast_group_scheme_is_deterministic():
+    g1 = multicast_group_for("analytics")
+    assert g1 == multicast_group_for("analytics")
+    host, port = g1
+    first, second = int(host.split(".")[0]), int(host.split(".")[1])
+    assert first == 239 and 192 <= second <= 195  # 239.192.0.0/14
+    assert 30000 <= port < 34000
+    assert g1 != multicast_group_for("billing")
+
+
+def test_discover_requires_multicast_config(cluster):
+    _, a, _ = cluster
+    with pytest.raises(RuntimeError, match="multicast"):
+        a.discover()
+
+
+def test_multicast_discovery_finds_peers():
+    group = multicast_group_for("pytest-discovery")
+    try:
+        with AioNodeRegistry(multicast=group) as registry:
+            a = AioTiamatNode(registry, "a")
+            b = AioTiamatNode(registry, "b")
+            found = {}
+            deadline = time.monotonic() + 5.0
+            while "b" not in found and time.monotonic() < deadline:
+                found = a.discover(window=0.2)
+    except OSError as exc:  # pragma: no cover - environment-dependent
+        pytest.skip(f"multicast unavailable in this environment: {exc}")
+    assert found.get("b") == b.addr

@@ -18,6 +18,7 @@ operation outcomes value by value) and pins down the mechanics:
 from __future__ import annotations
 
 from repro.core import TiamatConfig, TiamatInstance
+from repro.errors import CodecMismatchError
 from repro.net import Network
 from repro.net.message import BATCH, Message
 from repro.sim import Simulator
@@ -32,7 +33,8 @@ def _run_workload(fast: bool, seed: int = 11):
     """A mixed destructive/read workload; returns (outcomes, wire stats)."""
     sim = Simulator(seed=seed)
     net = Network(sim, codec="binary" if fast else None, batching=fast)
-    config = TiamatConfig(ack_piggyback=fast)
+    config = TiamatConfig(ack_piggyback=fast,
+                          wire_codec="binary" if fast else "json")
     names = ["a", "b", "c"]
     inst = {n: TiamatInstance(sim, net, n, config=config) for n in names}
     net.visibility.connect_clique(names)
@@ -92,9 +94,13 @@ def test_wire_codec_config_must_match_network():
     net = Network(sim)                       # JSON-priced network
     with pytest.raises(ValueError, match="wire_codec"):
         TiamatInstance(sim, net, "x", config=TiamatConfig(wire_codec="binary"))
-    # The default config rides on any network codec; explicit binary on a
-    # binary network is likewise fine.
+    # The check is symmetric (the old default-config leniency is gone): a
+    # json config on a binary network is the same deployment error, and
+    # every runtime raises the one shared CodecMismatchError.
     bnet = Network(Simulator(seed=0), codec="binary")
+    with pytest.raises(CodecMismatchError, match="wire_codec"):
+        TiamatInstance(bnet.sim, bnet, "z", config=TiamatConfig())
+    # Matching codecs on both sides are fine.
     TiamatInstance(bnet.sim, bnet, "y", config=TiamatConfig(wire_codec="binary"))
 
 

@@ -6,9 +6,11 @@ Three kinds of guarantees:
   removing a name is a deliberate, reviewed act that edits this file;
 * **shape** — the blessed constructors are keyword-only for their
   optional arguments (inspected, not just documented), and
-  :func:`repro.create_instance` is the one-call entry point;
-* **compatibility** — the legacy positional call forms still work, but
-  only under :class:`DeprecationWarning`.
+  :func:`repro.connect` is the one-call entry point (v1.2);
+* **compatibility** — the legacy forms — positional constructor calls,
+  :func:`repro.create_instance`, and the threaded-class re-exports from
+  ``repro.runtime`` — still work, but only under
+  :class:`DeprecationWarning`.
 
 Run in CI as its own step (see ``.github/workflows/ci.yml``).
 """
@@ -34,9 +36,9 @@ import repro.tuples.storage
 EXPECTED_TOP_LEVEL = {
     "ANY", "AdmissionController", "Formal", "LeaseTerms", "Network",
     "Pattern", "Range", "Refusal", "SimpleLeaseRequester", "Simulator",
-    "SpaceHandle", "TiamatConfig", "TiamatInstance", "Tuple",
-    "UnavailablePolicy", "VisibilityGraph", "__version__",
-    "create_instance",
+    "SpaceHandle", "TiamatConfig", "TiamatInstance", "TiamatNodeHandle",
+    "TiamatRuntime", "Tuple", "UnavailablePolicy", "VisibilityGraph",
+    "__version__", "connect", "create_instance",
 }
 
 EXPECTED_CORE = {
@@ -49,8 +51,9 @@ EXPECTED_CORE = {
 }
 
 EXPECTED_RUNTIME = {
-    "SHED", "ThreadSafeTupleSpace", "ThreadedNodeRegistry",
-    "ThreadedTiamatNode",
+    "AioRuntime", "SHED", "SimRuntime", "ThreadSafeTupleSpace",
+    "ThreadedNodeRegistry", "ThreadedTiamatNode", "ThreadsRuntime",
+    "TiamatNodeHandle", "TiamatRuntime", "connect",
 }
 
 EXPECTED_SIM = {
@@ -143,7 +146,18 @@ def test_network_ctor_optionals_are_keyword_only():
             "batching"} <= kw
 
 
-def test_create_instance_is_the_front_door():
+def test_connect_is_the_front_door():
+    sig = inspect.signature(repro.connect)
+    params = list(sig.parameters.values())
+    assert params[0].name == "runtime"
+    assert all(p.kind is inspect.Parameter.KEYWORD_ONLY
+               for p in params[1:] if p.kind is not
+               inspect.Parameter.VAR_KEYWORD)
+    with repro.connect(runtime="sim") as rt:
+        assert isinstance(rt, repro.TiamatRuntime)
+
+
+def test_create_instance_still_works_but_warns():
     sig = inspect.signature(repro.create_instance)
     params = list(sig.parameters.values())
     assert [p.name for p in params[:3]] == ["sim", "network", "name"]
@@ -152,8 +166,9 @@ def test_create_instance_is_the_front_door():
 
     sim = repro.Simulator(seed=3)
     net = repro.Network(sim)
-    inst = repro.create_instance(sim, net, "n0",
-                                 config=repro.TiamatConfig())
+    with pytest.warns(DeprecationWarning, match="repro.connect"):
+        inst = repro.create_instance(sim, net, "n0",
+                                     config=repro.TiamatConfig())
     assert isinstance(inst, repro.TiamatInstance)
     assert inst.name == "n0"
 
@@ -162,6 +177,8 @@ def test_version_is_pep440ish():
     parts = repro.__version__.split(".")
     assert len(parts) >= 2
     assert all(p.isdigit() for p in parts[:2])
+    # the runtime front door shipped in 1.2
+    assert tuple(int(p) for p in parts[:2]) >= (1, 2)
 
 
 # ---------------------------------------------------------------------------

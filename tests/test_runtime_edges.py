@@ -6,7 +6,8 @@ import time
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtime import ThreadSafeTupleSpace, ThreadedNodeRegistry, ThreadedTiamatNode
+from repro.runtime import ThreadSafeTupleSpace
+from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
 from repro.sim import Simulator
 from repro.tuples import (
     LocalTupleSpace,

@@ -13,7 +13,8 @@ import time
 
 import pytest
 
-from repro.runtime import ThreadSafeTupleSpace, ThreadedNodeRegistry, ThreadedTiamatNode
+from repro.runtime import ThreadSafeTupleSpace
+from repro.runtime.node import ThreadedNodeRegistry, ThreadedTiamatNode
 from repro.tuples import Formal, Pattern, Tuple
 
 pytestmark = pytest.mark.timeout(60)
