@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""T12 agent-coordination baseline harness + CI gate (churn resilience).
+
+Runs the T12 comparison — the multi-agent blackboard vs the centralized
+master/worker baseline, each with and without 20% agent churn — and
+either records the result as the committed baseline or checks a fresh
+run against it.  The metrics come from a seeded discrete-event
+simulation, so they are exactly reproducible; the gate's tolerance only
+absorbs deliberate protocol changes, not runner noise.
+
+What the gate proves: the blackboard's lease-expiry re-offer keeps
+goodput within 30% of the zero-churn arm under 20% downtime
+(``bb_churn_goodput_loss``), the completion-token gate keeps duplicate
+completions at exactly zero (``bb_duplicates_churn``, absolute), ballots
+keep deciding promptly (``bb_consensus_ttc_s``), and per-task cost in
+both arms stays bounded (``*_secs_per_task``).
+
+Usage::
+
+    python benchmarks/agents_baseline.py                # measure + print
+    python benchmarks/agents_baseline.py --rebaseline   # rewrite BENCH_agents.json
+    python benchmarks/agents_baseline.py --check        # gate: exit 1 on >25% regression
+
+**Rebaseline policy**: same as ``perf_baseline.py`` — when a PR
+intentionally changes coordination cost, run ``--rebaseline``, commit
+the updated ``BENCH_agents.json`` in the same PR, and say why in the PR
+description.  Never rebaseline to silence a regression you cannot
+explain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bench import perf  # noqa: E402
+from repro.bench.agents import AGENTS, CHURN, DURATION, run_t12  # noqa: E402
+
+from perf_baseline import runner_fingerprint  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_agents.json")
+
+SEED = 12
+
+
+def collect() -> dict:
+    """Measure the gated metrics (all lower-is-better, all deterministic)."""
+    result = run_t12(SEED)
+    bb_zero, bb_churn = result.blackboard_zero, result.blackboard_churn
+    central_churn = result.central_churn
+    return {
+        "bb_secs_per_task_zero": bb_zero.duration / max(1, bb_zero.completed),
+        "bb_secs_per_task_churn": (bb_churn.duration
+                                   / max(1, bb_churn.completed)),
+        "bb_churn_goodput_loss": max(
+            0.0, 1.0 - result.blackboard_goodput_ratio),
+        "bb_duplicates_churn": float(bb_churn.duplicates),
+        "bb_consensus_ttc_s": bb_churn.consensus_mean,
+        "bb_unfairness_churn": 1.0 - bb_churn.fairness,
+        "central_secs_per_task_churn": (central_churn.duration
+                                        / max(1, central_churn.completed)),
+    }
+
+
+def build_document(metrics: dict) -> dict:
+    return {
+        "schema": perf.SCHEMA_VERSION,
+        "generated": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "runner": runner_fingerprint(),
+        "scenario": {"agents": AGENTS, "duration_s": DURATION,
+                     "churn": CHURN, "seed": SEED,
+                     "workload": "streaming_tasks_plus_ballots"},
+        "units": {"*_secs_per_task": "virtual seconds per completed task",
+                  "*_loss": "fraction of zero-churn goodput lost",
+                  "*_ttc_s": "mean ballot-open to decision, virtual seconds",
+                  "*_unfairness": "1 - Jain index over worker completions",
+                  "*_duplicates": "completion records beyond the first"},
+        "metrics": metrics,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default BENCH_agents.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 1 on regression")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="write the measured metrics as the new baseline")
+    parser.add_argument("--tolerance", type=float,
+                        default=perf.DEFAULT_TOLERANCE,
+                        help="relative regression tolerated (default 0.25)")
+    args = parser.parse_args(argv)
+
+    metrics = collect()
+
+    baseline = None
+    if args.check or (os.path.exists(args.baseline) and not args.rebaseline):
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            baseline = None
+
+    print(perf.render_table(metrics, baseline))
+
+    if args.rebaseline:
+        doc = build_document(metrics)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n[agents] baseline written to {args.baseline}")
+        return 0
+
+    if args.check:
+        if baseline is None:
+            print(f"\n[agents] FAIL: no baseline at {args.baseline} "
+                  "(run --rebaseline and commit it)")
+            return 1
+        problems = perf.compare(baseline, metrics, tolerance=args.tolerance)
+        # The headline claims are absolute, not just regression-relative.
+        if metrics["bb_duplicates_churn"] != 0.0:
+            problems.append(
+                f"bb_duplicates_churn {metrics['bb_duplicates_churn']:.0f} "
+                "!= 0: the completion-token gate leaked a duplicate")
+        if metrics["bb_churn_goodput_loss"] > 0.30:
+            problems.append(
+                f"bb_churn_goodput_loss {metrics['bb_churn_goodput_loss']:.3f} "
+                "exceeds the absolute budget of 0.30 (churn arm must keep "
+                ">= 70% of zero-churn goodput)")
+        if problems:
+            print("\n[agents] FAIL: churn-resilience gate tripped:")
+            for line in problems:
+                print(f"  - {line}")
+            print("\nIf this change is intentional, rebaseline per the "
+                  "policy in this script's docstring.")
+            return 1
+        print(f"\n[agents] OK: all metrics within {args.tolerance:.0%} "
+              "of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,14 +17,32 @@ tuple space with ~200 lines of glue:
 with soft-state (leased) adverts, and :mod:`repro.apps.workloads` provides
 the synthetic request/response workload used by the cross-system
 comparison benches.
+
+:mod:`repro.apps.agents` is the generative-coordination showcase
+(ROADMAP item 3): a multi-agent blackboard where N agents coordinate
+purely through the space — durable task tuples claimed via leased
+``inp``, lease-expiry re-offers, broadcast questions, rd-quorum
+consensus, and DAG task decomposition — checkable by the
+``claim_exclusivity`` / ``quorum_safety`` oracles and benchmarked as T12.
 """
 
 from repro.apps.webproxy import OriginFabric, ProxyServer, WebClient, WebScenario
 from repro.apps.fractal import FractalMaster, FractalWorker, mandelbrot_tile
 from repro.apps.services import ServiceClient, ServiceProvider, advert_pattern
 from repro.apps.workloads import RequestResponseWorkload, WorkloadStats
+from repro.apps.agents import (
+    AgentSwarm,
+    SwarmConfig,
+    SwarmStats,
+    TaskSpec,
+    decompose,
+    jain_fairness,
+    run_handles_session,
+    topological_order,
+)
 
 __all__ = [
+    "AgentSwarm",
     "FractalMaster",
     "FractalWorker",
     "OriginFabric",
@@ -32,9 +50,16 @@ __all__ = [
     "RequestResponseWorkload",
     "ServiceClient",
     "ServiceProvider",
+    "SwarmConfig",
+    "SwarmStats",
+    "TaskSpec",
     "WebClient",
     "WebScenario",
     "WorkloadStats",
     "advert_pattern",
+    "decompose",
+    "jain_fairness",
     "mandelbrot_tile",
+    "run_handles_session",
+    "topological_order",
 ]

@@ -64,14 +64,37 @@ class Step:
 
 
 class ScriptedWorkload:
-    """A seeded, runtime-agnostic sequential workload."""
+    """A seeded, runtime-agnostic sequential workload.
+
+    Two flavors share the determinism rules (unique tuples, ground
+    patterns, strict sequencing):
+
+    * ``classic`` — the original mixed op soup over random nodes.
+    * ``agents`` — the blackboard coordination shapes of
+      :mod:`repro.apps.agents`: bid/claim (a ground destructive take of a
+      specific offer), wip markers, token-gated completions, broadcast
+      question/answer collection, and a vote/rd-quorum/decision ballot —
+      seeded-interleaved across tasks so claim traffic from different
+      tasks overlaps, while per-task ordering is preserved.
+    """
 
     def __init__(self, seed: int, steps: int = 40,
-                 nodes: tuple = _NODES) -> None:
+                 nodes: tuple = _NODES, flavor: str = "classic") -> None:
+        if flavor not in ("classic", "agents"):
+            raise ValueError(f"unknown workload flavor {flavor!r}")
         self.seed = seed
         self.nodes = nodes
+        self.flavor = flavor
         self.steps: List[Step] = []
-        rng = RngStream(seed, name="differential")
+        rng = RngStream(seed, name=f"differential/{flavor}")
+        if flavor == "agents":
+            self._build_agents(rng, steps)
+        else:
+            self._build_classic(rng, steps)
+
+    def _build_classic(self, rng, steps: int) -> None:
+        nodes = self.nodes
+        seed = self.seed
         alive: List[Tuple] = []
         counter = 0
         eval_counter = 0
@@ -100,6 +123,69 @@ class ScriptedWorkload:
                             eval_counter * eval_counter)
                 eval_counter += 1
                 self.steps.append(Step("eval", node, tup))
+
+    def _build_agents(self, rng, steps: int) -> None:
+        """Bid/claim/answer programs, seeded-interleaved across tasks."""
+        nodes = list(self.nodes)
+        board = nodes[0]
+        agents = nodes[1:] or nodes
+        seed = self.seed
+        programs: List[List[Step]] = []
+        tasks = max(2, (steps - 12) // 9)
+        for i in range(tasks):
+            agent = rng.choice(agents)
+            watchers = [n for n in nodes if n != agent] or nodes
+            watcher = rng.choice(watchers)
+            task = Tuple(WORKLOAD_TAG, "task", i, f"s{seed}")
+            tok = Tuple(WORKLOAD_TAG, "tok", i)
+            wip = Tuple(WORKLOAD_TAG, "wip", i, agent)
+            done = Tuple(WORKLOAD_TAG, "done", i, agent)
+            programs.append([
+                Step("out", board, task), Step("out", board, tok),
+                Step("inp", agent, task),    # the claim: a ground take
+                Step("out", agent, wip),
+                Step("rd", watcher, wip),    # a peer witnesses the claim
+                Step("inp", agent, wip),
+                Step("inp", agent, tok),     # exactly-once completion gate
+                Step("out", agent, done),
+                Step("inp", board, done),    # the board collects the record
+            ])
+        # One broadcast question: everyone answers, the board injects.
+        question = Tuple(WORKLOAD_TAG, "q", 0, "status")
+        q_prog = [Step("out", board, question)]
+        for agent in agents:
+            answer = Tuple(WORKLOAD_TAG, "ans", 0, agent)
+            q_prog += [Step("rd", agent, question),
+                       Step("out", agent, answer),
+                       Step("inp", board, answer)]
+        programs.append(q_prog)
+        # One ballot: votes out, rd-quorum tally, decision token, verdict.
+        ballot_q = Tuple(WORKLOAD_TAG, "avq", 0, "alpha,beta")
+        ballot_tok = Tuple(WORKLOAD_TAG, "adtok", 0)
+        ballot = [Step("out", board, ballot_q),
+                  Step("out", board, ballot_tok)]
+        votes: List[Tuple] = []
+        for idx, agent in enumerate(agents):
+            vote = Tuple(WORKLOAD_TAG, "vote", 0, agent,
+                         ("alpha", "beta")[idx % 2])
+            ballot += [Step("rd", agent, ballot_q),
+                       Step("out", agent, vote)]
+            votes.append(vote)
+        tallier = agents[0]
+        for vote in votes:
+            ballot.append(Step("rdp", tallier, vote))
+        ballot += [Step("inp", tallier, ballot_tok),
+                   Step("out", tallier,
+                        Tuple(WORKLOAD_TAG, "decision", 0, "alpha"))]
+        programs.append(ballot)
+        # Seeded adversarial interleaving: per-program order is preserved
+        # (so every ground pattern targets a live tuple), cross-program
+        # order is the rng's pick — claim traffic overlaps across tasks.
+        while programs:
+            pick = rng.randint(0, len(programs) - 1)
+            self.steps.append(programs[pick].pop(0))
+            if not programs[pick]:
+                programs.pop(pick)
 
 
 class RuntimeTranscript:
@@ -360,16 +446,17 @@ class DifferentialResult:
 def run_differential(seed: int, steps: int = 40,
                      workload: Optional[ScriptedWorkload] = None,
                      runtimes: tuple = ("sim", "threaded"),
-                     ) -> DifferentialResult:
+                     flavor: str = "classic") -> DifferentialResult:
     """Run one scripted workload through the named runtimes and diff.
 
     ``runtimes`` selects from :data:`RUNTIME_DRIVERS`; the sim reference
     always runs (and runs first), whether named or not.  The default
     stays the historical sim-vs-threaded pair; pass
     ``("sim", "threaded", "aio")`` for the full three-way check.
+    ``flavor`` picks the workload generator (``classic`` or ``agents``).
     """
     workload = workload if workload is not None else ScriptedWorkload(
-        seed, steps=steps)
+        seed, steps=steps, flavor=flavor)
     unknown = [r for r in runtimes if r not in RUNTIME_DRIVERS]
     if unknown:
         raise ValueError(f"unknown runtimes {unknown!r}: expected a subset "

@@ -486,6 +486,66 @@ def build_fabric_churn(sim: Simulator, net: Network,
     return list(registry.values()), 3.5
 
 
+@template("agent_swarm")
+def build_agent_swarm(sim: Simulator, net: Network,
+                      vis: VisibilityGraph, rng,
+                      perturb: "Perturbations") -> tuple:
+    """A blackboard swarm under a bid storm, churn mid-claim, lost verdicts.
+
+    A board plus two agents run the :mod:`repro.apps.agents` coordination
+    protocol with tight timings; the board moonlights as a claimant
+    (``board_worker``) so local claims race remote ones within the first
+    handful of events — the ``double_claim`` canary fires almost
+    immediately, which keeps its shrunk prefix short.  A seeded bid storm
+    of independent tasks lands at t=0 together with one two-option ballot
+    (``split_vote`` bait: the three claimants' deterministic preferences
+    disagree) and one broadcast question.  On a seeded timetable one
+    agent crashes mid-claim and revives empty — its wip marker and votes
+    die with it, so re-offers, re-votes and lost decision verdicts are
+    all part of the weather the claim-exclusivity and quorum-safety
+    oracles must stay clean under.
+    """
+    from repro.apps.agents import AgentSwarm, SwarmConfig, TaskSpec
+
+    swarm = AgentSwarm(
+        sim, net, vis, agents=("wa", "wb"), board_worker=True,
+        config=SwarmConfig(claim_ttl=0.8, reoffer_grace=0.5,
+                           reoffer_poll=0.2, poll=0.04, work_mean=0.12,
+                           op_lease=0.5))
+    # Bid storm: a seeded burst of independent offers, all claimable at
+    # once, plus one two-deep dependency pair for offer-gating coverage.
+    # Intake is deferred to t=0 so every deposit (and its lease) happens
+    # under the invariant monitor, which installs after the build.
+    burst = 4 + rng.randint(0, 2)
+    specs = [TaskSpec(i, f"storm{i}") for i in range(burst)]
+    specs.append(TaskSpec(burst, "gated", (0,)))
+
+    def intake() -> None:
+        swarm.submit(specs)
+        swarm.ask_vote(0, ["alpha", "beta"])
+        swarm.ask_question(0, "status")
+
+    # Intake strictly precedes the first agent step (the tiebreak layer
+    # randomizes ordering within one timestamp): the very first ballot
+    # pass already sees the vote, so canary violations land within the
+    # shrinker's event budget.
+    sim.schedule_at(0.0, intake)
+    sim.schedule_at(0.002, swarm.start)
+
+    # Seeded churn mid-claim: one agent dies while the storm is being
+    # claimed and revives as a fresh, empty instance (wip markers, votes
+    # and un-collected done records all die with it).  The draws happen
+    # regardless of the layer switch so ablating churn keeps every other
+    # stream's randomness aligned.
+    victim = rng.choice(["wa", "wb"])
+    crash_at = 0.3 + rng.random() * 0.6
+    revive_at = crash_at + 0.3 + rng.random() * 0.5
+    if perturb.churn:
+        sim.schedule_at(crash_at, lambda: swarm.crash_agent(victim))
+        sim.schedule_at(revive_at, lambda: swarm.revive_agent(victim))
+    return list(swarm.registry.values()), 3.0
+
+
 # ----------------------------------------------------------------------
 # Running one schedule
 # ----------------------------------------------------------------------

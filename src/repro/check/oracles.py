@@ -21,6 +21,12 @@ every probe event to a set of :class:`Oracle` shadows:
 ``ReliabilityNoDupOracle``
     The reliable sublayer never dispatches the same ``(src, dst, epoch,
     seq)`` frame to protocol handlers twice.
+``ClaimExclusivityOracle``
+    A blackboard task id is never concurrently held by two live claims
+    (:mod:`repro.apps.agents` — the leased-``inp`` bid/claim protocol).
+``QuorumSafetyOracle``
+    One consensus question never yields two conflicting decisions (the
+    rd-quorum + decision-token ballot of :mod:`repro.apps.agents`).
 
 Violations are *recorded*, not raised: every :class:`Violation` carries the
 kernel event index at which it was observed (``sim.events_processed`` at
@@ -242,11 +248,83 @@ class ReliabilityNoDupOracle(Oracle):
             self._dispatched.add(key)
 
 
+class ClaimExclusivityOracle(Oracle):
+    """No task id is ever held by two live claim leases at once.
+
+    The blackboard workload (:mod:`repro.apps.agents`) emits
+    ``agents.claim`` (with the claim lease's ``expires_at``) when an agent
+    wins a bid and ``agents.release`` when it hands the task back —
+    voluntarily, by completing it, or by observing its own death.  A claim
+    whose lease has expired no longer excludes anyone (that expiry is
+    exactly what re-offers work abandoned by crashed agents), so the
+    shadow first retires expired holds at each event's ``now``; a *live*
+    second hold on the same task is the mutual-exclusion breach the leased
+    ``inp`` is supposed to make impossible.
+    """
+
+    name = "claim_exclusivity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._held: Dict[Any, Dict[str, float]] = {}  # task -> agent -> exp
+
+    def on_event(self, event: str, fields: Dict[str, Any]) -> None:
+        if event == "agents.claim":
+            task = fields["task"]
+            now = fields["now"]
+            holders = self._held.setdefault(task, {})
+            for agent in [a for a, exp in holders.items() if exp <= now]:
+                del holders[agent]  # lease expired: no longer excludes
+            agent = fields["agent"]
+            if holders and agent not in holders:
+                others = ", ".join(sorted(holders))
+                self.fail(f"task {task!r} claimed by {agent!r} while "
+                          f"live claim(s) held by {others}", event, fields)
+                return
+            holders[agent] = fields["expires_at"]
+        elif event == "agents.release":
+            holders = self._held.get(fields["task"])
+            if holders is not None:
+                holders.pop(fields["agent"], None)
+
+
+class QuorumSafetyOracle(Oracle):
+    """One question, at most one decision value — ever.
+
+    ``agents.decide`` fires when a tallier wins the decision token after
+    observing an rd-quorum of ballots.  Re-deciding the *same* value is
+    harmless (an idempotent re-announcement); two *different* values for
+    one question is split-brain consensus, the failure the decision token
+    exists to prevent.
+    """
+
+    name = "quorum_safety"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._decided: Dict[Any, Any] = {}   # question -> (choice, agent)
+
+    def on_event(self, event: str, fields: Dict[str, Any]) -> None:
+        if event == "agents.decide":
+            question = fields["question"]
+            choice = fields["choice"]
+            prior = self._decided.get(question)
+            if prior is None:
+                self._decided[question] = (choice, fields["agent"])
+            elif prior[0] != choice:
+                self.fail(
+                    f"question {question!r} decided {choice!r} by "
+                    f"{fields['agent']!r} but already decided {prior[0]!r} "
+                    f"by {prior[1]!r} (conflicting consensus)",
+                    event, fields)
+
+
 def default_oracles() -> List[Oracle]:
     """One instance of every oracle in the catalogue."""
     return [ExactlyOnceOracle(), GhostReadOracle(),
             LeaseConservationOracle(), RefusalVocabularyOracle(),
-            ReliabilityNoDupOracle()]
+            ReliabilityNoDupOracle(), ClaimExclusivityOracle(),
+            QuorumSafetyOracle()]
 
 
 class InvariantMonitor:

@@ -20,14 +20,16 @@ machinery — ``repro/check/__init__.py`` lazy-loads everything else.
 
 Mutation canaries
 -----------------
-The same module owns the ``REPRO_CHECK_CANARY`` environment toggle: three
-intentionally planted bugs (``ghost``, ``double_take``, ``lease_leak``)
-that core modules consult *at object construction time* via
-:func:`canary`.  They exist purely to prove the oracles are not vacuous —
-``tests/test_check_canaries.py`` asserts the checker detects each one and
-shrinks it to a short reproducing prefix.  With the variable unset (always,
-outside that test) the guards are constant-``False`` attributes checked on
-cold paths only.
+The same module owns the ``REPRO_CHECK_CANARY`` environment toggle:
+intentionally planted bugs (``ghost``, ``double_take``, ``lease_leak`` in
+the protocol core; ``double_claim``, ``split_vote`` in the multi-agent
+blackboard workload) that host modules consult *at object construction
+time* via :func:`canary`.  They exist purely to prove the oracles are not
+vacuous — ``tests/test_check_canaries.py`` and
+``tests/test_check_agent_canaries.py`` assert the checker detects each one
+and shrinks it to a short reproducing prefix.  With the variable unset
+(always, outside those tests) the guards are constant-``False`` attributes
+checked on cold paths only.
 """
 
 from __future__ import annotations
@@ -40,11 +42,14 @@ from typing import Any, Callable, Dict, Optional
 #: :func:`emit`, which does the same check).
 SINK: Optional[Callable[[str, Dict[str, Any]], None]] = None
 
-#: Names of the three planted bugs (values of ``REPRO_CHECK_CANARY``).
+#: Names of the planted bugs (values of ``REPRO_CHECK_CANARY``).
 CANARY_GHOST = "ghost"
 CANARY_DOUBLE_TAKE = "double_take"
 CANARY_LEASE_LEAK = "lease_leak"
-ALL_CANARIES = (CANARY_GHOST, CANARY_DOUBLE_TAKE, CANARY_LEASE_LEAK)
+CANARY_DOUBLE_CLAIM = "double_claim"
+CANARY_SPLIT_VOTE = "split_vote"
+ALL_CANARIES = (CANARY_GHOST, CANARY_DOUBLE_TAKE, CANARY_LEASE_LEAK,
+                CANARY_DOUBLE_CLAIM, CANARY_SPLIT_VOTE)
 
 
 def emit(event: str, **fields: Any) -> None:

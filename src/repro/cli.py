@@ -578,7 +578,8 @@ def cmd_differential(args: argparse.Namespace) -> int:
     runtimes = tuple(r.strip() for r in args.runtimes.split(",") if r.strip())
     failures = 0
     for seed in range(args.seed, args.seed + args.seeds):
-        result = run_differential(seed, steps=args.steps, runtimes=runtimes)
+        result = run_differential(seed, steps=args.steps, runtimes=runtimes,
+                                  flavor=args.flavor)
         verdict = "agree" if result.agree else "DIVERGE"
         print(f"seed {seed}: {verdict} across {'/'.join(result.transcripts)} "
               f"(consumed {len(result.sim.consumed)} tuples)")
@@ -586,6 +587,62 @@ def cmd_differential(args: argparse.Namespace) -> int:
             failures += 1
             print(f"  {mismatch}")
     return 0 if failures == 0 else 1
+
+
+def cmd_agents(args: argparse.Namespace) -> int:
+    """Multi-agent blackboard coordination (the T12 scenario).
+
+    Default mode runs the full T12 comparison
+    (:mod:`repro.bench.agents`): the generative blackboard vs a
+    centralized master/worker baseline, with and without churn.
+    ``--once`` is the CI smoke: one small front-door session
+    (:func:`repro.apps.agents.run_handles_session`) on the chosen
+    runtime — exit 1 unless every task completed exactly once and the
+    ballot decided.
+    """
+    if args.once:
+        from repro.apps.agents import run_handles_session
+
+        result = run_handles_session(args.runtime,
+                                     agents=args.agents or 3,
+                                     tasks=args.tasks)
+        spread = ", ".join(f"{name}={count}"
+                           for name, count in sorted(
+                               result.completed_by.items()))
+        print(f"[{result.runtime}] {result.completed}/{result.tasks} tasks "
+              f"completed, {result.duplicates} duplicates, "
+              f"decision={result.decision!r}, {result.answers} answers, "
+              f"{result.elapsed:.2f}s wall ({spread})")
+        ok = result.complete and result.decision is not None
+        print("agents smoke OK" if ok else "agents smoke FAILED")
+        return 0 if ok else 1
+
+    from repro.bench.agents import AGENTS, CHURN, DURATION, run_t12
+
+    churn = args.churn if args.churn is not None else CHURN
+    result = run_t12(args.seed, churn=churn,
+                     agents=args.agents or AGENTS,
+                     duration=args.duration or DURATION)
+    table = Table(
+        "T12: blackboard vs centralized master under churn",
+        ["arm", "churn", "completed", "goodput (t/s)", "dup", "fairness",
+         "consensus", "ttc (s)", "recoveries", "crashes"])
+    for point in result.points:
+        table.add_row(
+            point.arm, f"{point.churn:.0%}", point.completed,
+            f"{point.goodput:.2f}", point.duplicates,
+            f"{point.fairness:.3f}",
+            f"{point.consensus_decided}/{point.consensus_opened}",
+            f"{point.consensus_mean:.2f}",
+            point.recoveries, point.crashes)
+    print(table.render())
+    print(f"blackboard keeps {result.blackboard_goodput_ratio:.0%} of "
+          f"zero-churn goodput at {churn:.0%} churn "
+          f"(central: {result.central_goodput_ratio:.0%}); "
+          f"blackboard duplicates: "
+          f"{result.blackboard_churn.duplicates} (token-gated), "
+          f"central: {result.central_churn.duplicates} (timeout races)")
+    return 0
 
 
 def cmd_aio_echo(args: argparse.Namespace) -> int:
@@ -760,6 +817,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--runtimes", default="sim,threaded",
         help="comma-separated runtimes to compare against sim "
              "(default sim,threaded; full check: sim,threaded,aio)")
+    differential.add_argument(
+        "--flavor", choices=("classic", "agents"), default="classic",
+        help="workload flavor: classic tuple soup or the agent "
+             "blackboard vocabulary (default classic)")
+
+    agents = sub.add_parser(
+        "agents",
+        help="multi-agent blackboard vs centralized master (T12)")
+    agents.add_argument("--once", action="store_true",
+                        help="CI smoke: one front-door session, exit 1 "
+                             "unless complete and exactly-once")
+    agents.add_argument("--runtime", choices=("sim", "threads", "aio"),
+                        default="sim",
+                        help="runtime for --once (default sim)")
+    agents.add_argument("--agents", type=int, default=None,
+                        help="worker count (default 3 for --once, 6 full)")
+    agents.add_argument("--tasks", type=int, default=8,
+                        help="tasks for --once (default 8)")
+    agents.add_argument("--duration", type=float, default=None,
+                        help="virtual seconds per full-mode point "
+                             "(default 24)")
+    agents.add_argument("--churn", type=float, default=None,
+                        help="target downtime fraction for the churn "
+                             "arms (default 0.2)")
 
     aio_echo = sub.add_parser(
         "aio-echo",
@@ -780,6 +861,7 @@ _COMMANDS = {
     "perf": cmd_perf,
     "check": cmd_check,
     "differential": cmd_differential,
+    "agents": cmd_agents,
     "aio-echo": cmd_aio_echo,
     "wal": cmd_wal,
     "flight": cmd_flight,

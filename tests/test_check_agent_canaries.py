@@ -1,0 +1,90 @@
+"""Agent-workload mutation canaries: the coordination oracles are not
+vacuous.
+
+Mirrors ``tests/test_check_canaries.py`` for the two planted bugs in the
+multi-agent blackboard (:mod:`repro.apps.agents`):
+
+* ``double_claim`` — agents "claim" with a non-destructive directed read
+  of the same offer instead of the exactly-once ``inp``, so two agents
+  hold one task at once; caught by the ``claim_exclusivity`` oracle.
+* ``split_vote`` — every agent skips the rd-quorum and the decision
+  token and decides its ballot unilaterally, so conflicting decisions
+  for one question are recorded; caught by the ``quorum_safety`` oracle.
+
+Each must be (a) detected by exploring the ``agent_swarm`` template,
+(b) shrunk to a short replayable prefix (≤ 50 kernel events), and
+(c) reproducible from the serialized :class:`CheckReport` alone.
+"""
+
+import pytest
+
+from repro.check.explorer import run_schedule
+from repro.check.shrink import CheckReport, shrink_violation
+
+#: canary name -> oracle expected to catch it
+CANARIES = {
+    "double_claim": "claim_exclusivity",
+    "split_vote": "quorum_safety",
+}
+
+SHRUNK_EVENT_BUDGET = 50
+
+
+def _first_violation(max_seeds=10):
+    for seed in range(max_seeds):
+        outcome = run_schedule("agent_swarm", seed)
+        if not outcome.clean:
+            return outcome
+    return None
+
+
+@pytest.mark.parametrize("canary,oracle", sorted(CANARIES.items()))
+def test_agent_canary_detected_and_shrunk(monkeypatch, canary, oracle):
+    monkeypatch.setenv("REPRO_CHECK_CANARY", canary)
+    outcome = _first_violation()
+    assert outcome is not None, f"canary {canary!r} went undetected"
+    assert outcome.first_violation.oracle == oracle
+
+    report = shrink_violation(outcome)
+    assert report.min_events <= SHRUNK_EVENT_BUDGET, (
+        f"shrunk trace too long: {report.min_events} events")
+    assert report.violation is not None
+    assert report.violation["oracle"] == oracle
+
+    # Replayable from the serialized report alone.
+    revived = CheckReport.from_json(report.to_json())
+    replay = revived.replay()
+    assert not replay.clean
+    assert replay.first_violation.oracle == oracle
+    assert replay.schedule_hash == report.schedule_hash
+
+    # The rendered report is a useful artefact.
+    rendered = report.render()
+    assert oracle in rendered
+    assert str(report.seed) in rendered
+
+
+@pytest.mark.parametrize("canary", sorted(CANARIES))
+def test_agent_canary_off_is_clean(monkeypatch, canary):
+    """The planted bugs are entirely env-gated: unset, nothing fires."""
+    monkeypatch.delenv("REPRO_CHECK_CANARY", raising=False)
+    outcome = run_schedule("agent_swarm", 0)
+    assert outcome.clean
+
+
+def test_agent_canary_is_read_at_construction(monkeypatch):
+    """Setting the env var after construction changes nothing."""
+    from repro.apps.agents import AgentSwarm
+    from repro.net import Network, VisibilityGraph
+    from repro.sim import Simulator
+
+    def build():
+        sim = Simulator(seed=0)
+        vis = VisibilityGraph()
+        return AgentSwarm(sim, Network(sim, visibility=vis), vis)
+
+    monkeypatch.delenv("REPRO_CHECK_CANARY", raising=False)
+    swarm = build()
+    monkeypatch.setenv("REPRO_CHECK_CANARY", "double_claim")
+    assert swarm._canary_double_claim is False
+    assert build()._canary_double_claim is True

@@ -32,6 +32,33 @@ def test_all_three_runtimes_agree(seed):
     assert result.sim.consumed == result.aio.consumed
 
 
+@pytest.mark.parametrize("seed", range(5))
+def test_agents_flavor_agrees_across_three_runtimes(seed):
+    """ISSUE 10: the agent-blackboard vocabulary (claim cycles with
+    wip markers and completion tokens, question/answer rounds, a full
+    ballot with rd-quorum tally and decision token) behaves identically
+    on sim, threads, and asyncio UDP."""
+    result = run_differential(seed, steps=40,
+                              runtimes=("sim", "threaded", "aio"),
+                              flavor="agents")
+    assert result.agree, "\n".join(result.mismatches)
+    assert result.sim.consumed, "agents workload consumed nothing"
+    assert result.sim.consumed == result.threaded.consumed
+    assert result.sim.consumed == result.aio.consumed
+
+
+def test_agents_flavor_generation_is_deterministic_and_distinct():
+    a = ScriptedWorkload(3, steps=40, flavor="agents")
+    b = ScriptedWorkload(3, steps=40, flavor="agents")
+    assert [(s.kind, s.node, s.tup) for s in a.steps] == \
+        [(s.kind, s.node, s.tup) for s in b.steps]
+    classic = ScriptedWorkload(3, steps=40)
+    assert [(s.kind, s.node, s.tup) for s in a.steps] != \
+        [(s.kind, s.node, s.tup) for s in classic.steps]
+    with pytest.raises(ValueError, match="unknown workload flavor"):
+        ScriptedWorkload(0, steps=10, flavor="carrier-pigeon")
+
+
 def test_default_pair_remains_sim_vs_threaded():
     """The historical 2-way API: no runtimes argument, .threaded present."""
     result = run_differential(0, steps=30)
